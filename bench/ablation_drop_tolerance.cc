@@ -1,0 +1,76 @@
+// Ablation (ours): trade-off of the inverse-matrix drop tolerance.
+// drop_tolerance = 0 is the paper's exact configuration; nonzero values
+// shrink the inverses at the cost of the exactness guarantee. Reports nnz,
+// per-query time, and the observed top-5 precision against ground truth.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "rwr/power_iteration.h"
+
+namespace kdash {
+namespace {
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Ablation — inverse-matrix drop tolerance",
+      "nnz of inverses, per-query time, and precision@5 vs drop tolerance; "
+      "Dictionary");
+
+  const auto dataset =
+      datasets::MakeDataset(datasets::DatasetId::kDictionary, bench::BenchScale());
+  const auto a = dataset.graph.NormalizedAdjacency();
+  const auto queries = bench::SampleQueries(dataset.graph, 10);
+
+  std::vector<std::vector<ScoredNode>> truth;
+  for (const NodeId q : queries) {
+    truth.push_back(rwr::TopKByPowerIteration(a, q, 5, {}));
+  }
+
+  bench::PrintTableHeader({"tolerance", "nnz(inv)", "time/query", "precision"});
+  for (const double tol : {0.0, 1e-15, 1e-12, 1e-9, 1e-6, 1e-4}) {
+    core::KDashOptions options;
+    options.drop_tolerance = tol;
+    const auto index = core::KDashIndex::Build(dataset.graph, options);
+    core::KDashSearcher searcher(&index);
+
+    double precision = 0.0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      precision +=
+          bench::PrecisionAtK(searcher.TopK(queries[i], 5), truth[i], 5);
+    }
+    precision /= static_cast<double>(queries.size());
+
+    const double time = bench::MedianSeconds(
+                            [&] {
+                              for (const NodeId q : queries) {
+                                searcher.TopK(q, 5);
+                              }
+                            },
+                            3) /
+                        static_cast<double>(queries.size());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0e", tol);
+    bench::PrintTableRow(label,
+                         {static_cast<double>(index.stats().nnz_lower_inverse +
+                                              index.stats().nnz_upper_inverse),
+                          time, precision},
+                         "%14.4g");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape: tolerances up to ~1e-9 leave precision at 1 while\n"
+      "shrinking the inverses (the dropped entries are below ranking\n"
+      "resolution); aggressive tolerances eventually cost exactness —\n"
+      "which is why K-dash defaults to 0.\n");
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main() {
+  kdash::Run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Summary comparison of every engine in the library on one dataset:
+// precompute cost, per-query cost, and precision@5 against the iterative
+// ground truth. Condenses the paper's Section 6 narrative into one table
+// and adds the Sun-et-al. partition-local method (cited in Section 2 as
+// the approximation NB_LIN superseded).
+#include <cstdio>
+
+#include "baselines/b_lin.h"
+#include "baselines/basic_push.h"
+#include "baselines/local_rwr.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/nb_lin.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "rwr/power_iteration.h"
+
+namespace kdash {
+namespace {
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Baseline comparison — every engine, one table",
+      "Dictionary dataset; K = 5; precision vs iterative ground truth");
+
+  const auto dataset =
+      datasets::MakeDataset(datasets::DatasetId::kDictionary, bench::BenchScale());
+  const auto& graph = dataset.graph;
+  const auto a = graph.NormalizedAdjacency();
+  const auto queries = bench::SampleQueries(graph, 10);
+  constexpr std::size_t kTopK = 5;
+
+  std::vector<std::vector<ScoredNode>> truth;
+  for (const NodeId q : queries) {
+    truth.push_back(rwr::TopKByPowerIteration(a, q, kTopK, {}));
+  }
+  const int rank = std::max(16, graph.num_nodes() / 33);
+
+  struct Row {
+    std::string name;
+    double precompute;
+    double query;
+    double precision;
+  };
+  std::vector<Row> rows;
+
+  auto measure = [&](const std::string& name, double precompute_seconds,
+                     auto&& top_k_fn) {
+    double precision = 0.0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      precision += bench::PrecisionAtK(top_k_fn(queries[i]), truth[i], kTopK);
+    }
+    precision /= static_cast<double>(queries.size());
+    const double query_seconds =
+        bench::MedianSeconds(
+            [&] {
+              for (const NodeId q : queries) top_k_fn(q);
+            },
+            3) /
+        static_cast<double>(queries.size());
+    rows.push_back({name, precompute_seconds, query_seconds, precision});
+  };
+
+  {
+    measure("Iterative", 0.0, [&](NodeId q) {
+      return rwr::TopKByPowerIteration(a, q, kTopK, {});
+    });
+  }
+  {
+    const auto index = core::KDashIndex::Build(graph, {});
+    core::KDashSearcher searcher(&index);
+    measure("K-dash", index.stats().total_seconds,
+            [&](NodeId q) { return searcher.TopK(q, kTopK); });
+  }
+  {
+    const baselines::NbLin nb(a, {.restart_prob = 0.95, .target_rank = rank});
+    measure("NB_LIN", nb.precompute_seconds(),
+            [&](NodeId q) { return nb.TopK(q, kTopK); });
+  }
+  {
+    const baselines::BLin b_lin(graph,
+                                {.restart_prob = 0.95, .target_rank = rank});
+    measure("B_LIN", b_lin.precompute_seconds(),
+            [&](NodeId q) { return b_lin.TopK(q, kTopK); });
+  }
+  {
+    const baselines::BasicPush bpa(a, {.restart_prob = 0.95, .num_hubs = rank});
+    measure("BasicPush", bpa.precompute_seconds(),
+            [&](NodeId q) { return bpa.TopK(q, kTopK); });
+  }
+  {
+    WallTimer timer;
+    const baselines::PartitionLocalRwr local(graph, {});
+    measure("SunLocal", timer.Seconds(),
+            [&](NodeId q) { return local.TopK(q, kTopK); });
+  }
+  {
+    WallTimer timer;
+    const baselines::MonteCarloRwr mc(
+        a, {.restart_prob = 0.95, .num_walks = 5000});
+    measure("MonteCarlo", timer.Seconds(),
+            [&](NodeId q) { return mc.TopK(q, kTopK); });
+  }
+
+  bench::PrintTableHeader({"method", "precomp[s]", "query[s]", "precision"});
+  for (const Row& row : rows) {
+    bench::PrintTableRow(row.name, {row.precompute, row.query, row.precision},
+                         "%14.4g");
+  }
+
+  std::printf(
+      "\nExpected shape: only Iterative and K-dash reach precision 1 (and\n"
+      "BasicPush via its recall-1 sets); K-dash answers queries orders of\n"
+      "magnitude faster than Iterative. SunLocal is fast but blind to\n"
+      "cross-partition proximity; NB_LIN/B_LIN trade rank for accuracy;\n"
+      "MonteCarlo converges like 1/sqrt(walks) — never exactly.\n");
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main() {
+  kdash::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6: precomputation wall-clock time (reorder + LU + explicit
+// inverses) per reordering approach on each dataset.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kdash_index.h"
+
+namespace kdash {
+namespace {
+
+constexpr double kScaleMultiplier = 0.4;  // Random ordering is the bottleneck
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Figure 6 — Precomputation time",
+      "index build wall clock [s] per reordering approach; c = 0.95");
+
+  const auto all = bench::LoadAllDatasets(kScaleMultiplier);
+  const std::vector<reorder::Method> methods = {
+      reorder::Method::kDegree, reorder::Method::kCluster,
+      reorder::Method::kHybrid, reorder::Method::kRcm,
+      reorder::Method::kRandom};
+
+  bench::PrintTableHeader(
+      {"dataset", "Degree", "Cluster", "Hybrid", "RCM", "Random"});
+  for (const auto& dataset : all) {
+    std::vector<double> row;
+    for (const auto method : methods) {
+      core::KDashOptions options;
+      options.reorder_method = method;
+      const auto index = core::KDashIndex::Build(dataset.graph, options);
+      row.push_back(index.stats().total_seconds);
+    }
+    bench::PrintTableRow(dataset.name, row, "%14.3f");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): the sparsity-aware orderings precompute up\n"
+      "to ~140x faster than Random because the factors and inverses they\n"
+      "produce are far sparser (compare Figure 5).\n");
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main() {
+  kdash::Run();
+  return 0;
+}

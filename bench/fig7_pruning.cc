@@ -1,0 +1,77 @@
+// Figure 7: effect of the tree-estimation pruning — K-dash vs K-dash with
+// the pruning removed (every reachable node's proximity computed).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+
+namespace kdash {
+namespace {
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Figure 7 — Effect of tree estimation (pruning)",
+      "median per-query wall clock [s], K = 5, hybrid reordering");
+
+  const auto all = bench::LoadAllDatasets();
+  bench::PrintTableHeader(
+      {"dataset", "K-dash", "NoPruning", "speedup", "prox/query",
+       "prox-nopr"});
+
+  for (const auto& dataset : all) {
+    const auto index = core::KDashIndex::Build(dataset.graph, {});
+    core::KDashSearcher searcher(&index);
+    const auto queries = bench::SampleQueries(dataset.graph, 10);
+
+    core::SearchOptions no_pruning;
+    no_pruning.use_pruning = false;
+
+    double prox_pruned = 0.0, prox_unpruned = 0.0;
+    for (const NodeId q : queries) {
+      core::SearchStats stats;
+      searcher.TopK(q, 5, {}, &stats);
+      prox_pruned += static_cast<double>(stats.proximity_computations);
+      searcher.TopK(q, 5, no_pruning, &stats);
+      prox_unpruned += static_cast<double>(stats.proximity_computations);
+    }
+    prox_pruned /= static_cast<double>(queries.size());
+    prox_unpruned /= static_cast<double>(queries.size());
+
+    const double pruned_time = bench::MedianSeconds(
+                                   [&] {
+                                     for (const NodeId q : queries) {
+                                       searcher.TopK(q, 5);
+                                     }
+                                   },
+                                   3) /
+                               static_cast<double>(queries.size());
+    const double unpruned_time =
+        bench::MedianSeconds(
+            [&] {
+              for (const NodeId q : queries) searcher.TopK(q, 5, no_pruning);
+            },
+            3) /
+        static_cast<double>(queries.size());
+
+    bench::PrintTableRow(dataset.name,
+                         {pruned_time, unpruned_time,
+                          unpruned_time / pruned_time, prox_pruned,
+                          prox_unpruned},
+                         "%14.4g");
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nExpected shape (paper): pruning wins on every dataset (up to\n"
+      "~1000x on graphs where the BFS tree is large but the top-k is\n"
+      "local); even Without-pruning stays faster than NB_LIN.\n");
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main() {
+  kdash::Run();
+  return 0;
+}

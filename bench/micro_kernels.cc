@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) for the kernels on K-dash's hot
+// paths: SpMV, the O(1) estimate update, sparse triangular solves, BFS,
+// LU factorization, and a full K-dash query.
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/estimator.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "graph/bfs.h"
+#include "graph/generators.h"
+#include "lu/sparse_lu.h"
+#include "lu/triangular.h"
+#include "sparse/permute.h"
+#include "rwr/power_iteration.h"
+
+namespace kdash {
+namespace {
+
+graph::Graph BenchGraph(NodeId n) {
+  Rng rng(42);
+  return graph::PowerLawCluster(n, 5, 0.6, /*directed=*/true, 0.4, rng);
+}
+
+void BM_SpMV(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto a = g.NormalizedAdjacency();
+  std::vector<Scalar> x(static_cast<std::size_t>(a.cols()), 1.0 / a.cols());
+  std::vector<Scalar> y(x.size());
+  for (auto _ : state) {
+    a.MultiplyVector(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SpMV)->Arg(1000)->Arg(4000);
+
+void BM_EstimateUpdate(benchmark::State& state) {
+  // The Definition-2 O(1) update, isolated.
+  const NodeId n = 1 << 16;
+  std::vector<Scalar> amax_of_node(static_cast<std::size_t>(n), 0.25);
+  std::vector<Scalar> c_prime(static_cast<std::size_t>(n), 0.05);
+  core::ProximityEstimator estimator(0.5, &amax_of_node, &c_prime);
+  estimator.Reset();
+  estimator.RecordQuery(0, 0.95);
+  NodeId u = 1;
+  NodeId layer = 1;
+  Scalar acc = 0.0;
+  for (auto _ : state) {
+    acc += estimator.EstimateNext(u, layer);
+    estimator.RecordSelected(u, 1e-6);
+    if (++u == n) {  // restart the protocol
+      estimator.Reset();
+      estimator.RecordQuery(0, 0.95);
+      u = 1;
+      layer = 0;
+    }
+    if ((u & 1023) == 0) ++layer;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_EstimateUpdate);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  for (auto _ : state) {
+    const auto tree = graph::BreadthFirstTree(g, 0);
+    benchmark::DoNotOptimize(tree.order.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (g.num_nodes() + g.num_edges()));
+}
+BENCHMARK(BM_Bfs)->Arg(1000)->Arg(4000);
+
+void BM_LuFactorize(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto index_order =
+      reorder::ComputeReordering(g, reorder::Method::kHybrid);
+  const auto a =
+      sparse::PermuteSymmetric(g.NormalizedAdjacency(), index_order.new_of_old);
+  const auto w = lu::BuildRwrSystemMatrix(a, 0.95);
+  for (auto _ : state) {
+    auto factors = lu::FactorizeLu(w);
+    benchmark::DoNotOptimize(factors.lower.nnz());
+  }
+}
+BENCHMARK(BM_LuFactorize)->Arg(1000)->Arg(4000);
+
+void BM_TriangularSolve(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto w = lu::BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.95);
+  const auto factors = lu::FactorizeLu(w);
+  std::vector<Scalar> b(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (auto _ : state) {
+    std::fill(b.begin(), b.end(), 0.0);
+    b[0] = 0.95;
+    lu::SolveLowerInPlace(factors.lower, b);
+    lu::SolveUpperInPlace(factors.upper, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_TriangularSolve)->Arg(1000)->Arg(4000);
+
+void BM_KDashQuery(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto index = core::KDashIndex::Build(g, {});
+  core::KDashSearcher searcher(&index);
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto top = searcher.TopK(rng.NextNode(g.num_nodes()), 5);
+    benchmark::DoNotOptimize(top.data());
+  }
+}
+BENCHMARK(BM_KDashQuery)->Arg(1000)->Arg(4000);
+
+void BM_PowerIterationQuery(benchmark::State& state) {
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto a = g.NormalizedAdjacency();
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto top =
+        rwr::TopKByPowerIteration(a, rng.NextNode(g.num_nodes()), 5, {});
+    benchmark::DoNotOptimize(top.data());
+  }
+}
+BENCHMARK(BM_PowerIterationQuery)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace kdash
+
+BENCHMARK_MAIN();

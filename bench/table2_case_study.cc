@@ -1,0 +1,60 @@
+// Table 2: ranked top-5 term lists for two company names and three
+// operating-system names on the FOLDOC-like dictionary graph, K-dash vs
+// NB_LIN.
+#include <cstdio>
+
+#include "baselines/nb_lin.h"
+#include "bench_util.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "datasets/foldoc_case_study.h"
+
+namespace kdash {
+namespace {
+
+void Run() {
+  bench::PrintBenchHeader(
+      "Table 2 — Ranked lists for company and operating system names",
+      "top-5 terms on the FOLDOC-like dictionary graph; K-dash vs NB_LIN");
+
+  const auto term_graph = datasets::MakeFoldocCaseStudy();
+  const auto a = term_graph.graph.NormalizedAdjacency();
+
+  const auto index = core::KDashIndex::Build(term_graph.graph, {});
+  core::KDashSearcher searcher(&index);
+  const baselines::NbLin nb_lin(
+      a, {.restart_prob = 0.95,
+          .target_rank = term_graph.graph.num_nodes() / 13});
+
+  auto print_list = [&](const char* method,
+                        const std::vector<ScoredNode>& list) {
+    std::printf("  %-8s", method);
+    for (const auto& entry : list) {
+      std::printf(" | %s",
+                  term_graph.names[static_cast<std::size_t>(entry.node)].c_str());
+    }
+    std::printf("\n");
+  };
+
+  for (const std::string& query : datasets::CaseStudyQueries()) {
+    const NodeId q = term_graph.IdOf(query);
+    std::printf("\nTerm: %s\n", query.c_str());
+    print_list("K-dash", searcher.TopK(q, 5));
+    print_list("NB_LIN", nb_lin.TopK(q, 5));
+  }
+
+  std::printf(
+      "\nExpected shape (paper's Table 2): K-dash surfaces the semantically\n"
+      "related terms (MS-DOS/IBM PC/Windows for Microsoft, Apple II for\n"
+      "APPLE, the Windows version cluster, the Macintosh cluster, the\n"
+      "Linux/Unix documentation cluster); the low-rank approximation mixes\n"
+      "in unrelated vocabulary.\n");
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main() {
+  kdash::Run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Automatic image captioning (the Pan et al. scenario from the paper's
+// related work): a mixed media graph connects image nodes to their visual
+// region nodes, regions to similar regions, and captioned images to their
+// caption words. The caption candidates for an uncaptioned query image are
+// the words with the highest RWR proximity — here computed exactly with a
+// personalized (restart-set) K-dash query over the image AND its regions.
+//
+//   $ ./examples/image_captioning
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "graph/graph.h"
+
+int main() {
+  using namespace kdash;
+
+  // Synthetic mixed media graph. Layout of node ids:
+  //   [0, kImages)                        image nodes
+  //   [kImages, kImages + kRegions)       visual region nodes
+  //   [kImages + kRegions, ... + kWords)  caption word nodes
+  constexpr NodeId kImages = 120;
+  constexpr NodeId kRegionsPerImage = 4;
+  constexpr NodeId kRegions = kImages * kRegionsPerImage;
+  const std::vector<std::string> words = {
+      "sky",   "sea",    "sun",   "beach", "tree",  "forest",
+      "cat",   "dog",    "grass", "snow",  "city",  "street",
+      "car",   "people", "bird",  "flower"};
+  const NodeId kWords = static_cast<NodeId>(words.size());
+  const NodeId region_base = kImages;
+  const NodeId word_base = static_cast<NodeId>(kImages + kRegions);
+
+  // Ground truth: each image belongs to one of 4 scene types; scene types
+  // use overlapping word vocabularies. The last 20 images are uncaptioned
+  // (query set) — their word links are withheld.
+  const std::vector<std::vector<int>> scene_words = {
+      {0, 1, 2, 3},    // coastal: sky sea sun beach
+      {4, 5, 8, 15},   // nature: tree forest grass flower
+      {6, 7, 8, 14},   // animals: cat dog grass bird
+      {10, 11, 12, 13} // urban: city street car people
+  };
+  constexpr NodeId kUncaptioned = 20;
+
+  Rng rng(99);
+  graph::GraphBuilder builder(static_cast<NodeId>(word_base + kWords));
+  auto scene_of = [&](NodeId image) { return image % 4; };
+
+  for (NodeId image = 0; image < kImages; ++image) {
+    // Image ↔ its regions.
+    for (NodeId r = 0; r < kRegionsPerImage; ++r) {
+      const NodeId region =
+          static_cast<NodeId>(region_base + image * kRegionsPerImage + r);
+      builder.AddUndirectedEdge(image, region, 1.0);
+    }
+    // Captioned images ↔ their scene's words (with one noisy word).
+    if (image >= kUncaptioned) {
+      for (const int w : scene_words[static_cast<std::size_t>(scene_of(image))]) {
+        builder.AddUndirectedEdge(image, static_cast<NodeId>(word_base + w),
+                                  1.0);
+      }
+      builder.AddUndirectedEdge(
+          image, static_cast<NodeId>(word_base + rng.NextBounded(kWords)),
+          0.3);
+    }
+  }
+  // Region ↔ visually similar regions of the same scene type (this is the
+  // path that carries caption information to uncaptioned images).
+  for (NodeId image = 0; image < kImages; ++image) {
+    for (int link = 0; link < 3; ++link) {
+      NodeId other = rng.NextNode(kImages);
+      for (int tries = 0; tries < 20 && scene_of(other) != scene_of(image);
+           ++tries) {
+        other = rng.NextNode(kImages);
+      }
+      if (scene_of(other) != scene_of(image) || other == image) continue;
+      const NodeId ra = static_cast<NodeId>(
+          region_base + image * kRegionsPerImage + rng.NextBounded(kRegionsPerImage));
+      const NodeId rb = static_cast<NodeId>(
+          region_base + other * kRegionsPerImage + rng.NextBounded(kRegionsPerImage));
+      builder.AddUndirectedEdge(ra, rb, 0.8);
+    }
+  }
+  const graph::Graph graph = std::move(builder).Build();
+  std::printf("Mixed media graph: %s\n", graph::DescribeGraph(graph).c_str());
+
+  const core::KDashIndex index = core::KDashIndex::Build(graph, {});
+  core::KDashSearcher searcher(&index);
+
+  // Caption the uncaptioned images: restart into {image} ∪ its regions,
+  // rank word nodes by proximity, take the top 4.
+  int correct = 0, produced = 0;
+  for (NodeId image = 0; image < kUncaptioned; ++image) {
+    std::vector<NodeId> restart{image};
+    for (NodeId r = 0; r < kRegionsPerImage; ++r) {
+      restart.push_back(
+          static_cast<NodeId>(region_base + image * kRegionsPerImage + r));
+    }
+    const auto ranked = searcher.TopKPersonalized(restart, 400);
+
+    std::vector<int> predicted;
+    for (const auto& entry : ranked) {
+      if (entry.node < word_base) continue;
+      predicted.push_back(entry.node - word_base);
+      if (predicted.size() == 4) break;
+    }
+
+    const auto& truth = scene_words[static_cast<std::size_t>(scene_of(image))];
+    if (image < 5) {
+      std::printf("image %-3d (scene %d) captions:", image, scene_of(image));
+      for (const int w : predicted) {
+        std::printf(" %s", words[static_cast<std::size_t>(w)].c_str());
+      }
+      std::printf("\n");
+    }
+    for (const int w : predicted) {
+      ++produced;
+      for (const int t : truth) {
+        if (w == t) {
+          ++correct;
+          break;
+        }
+      }
+    }
+  }
+
+  std::printf("\nCaptioning accuracy over %d uncaptioned images: %.1f%% "
+              "(%d/%d words)\n",
+              kUncaptioned, 100.0 * correct / produced, correct, produced);
+  std::printf(
+      "RWR propagates caption words across visually similar regions — the\n"
+      "paper's automatic-captioning motivation — and K-dash makes the\n"
+      "ranking exact.\n");
+  return correct * 2 > produced ? 0 : 1;  // expect well above 50%
+}

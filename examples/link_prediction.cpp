@@ -1,0 +1,94 @@
+// Link-prediction example (the Liben-Nowell & Kleinberg scenario from the
+// paper's related work): hide a fraction of a co-authorship network's
+// edges, rank candidate collaborators by RWR proximity, and measure how
+// many hidden collaborations the top-k predictions recover versus random
+// guessing.
+//
+//   $ ./examples/link_prediction
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace kdash;
+
+  // A collaboration network with community structure (like cond-mat).
+  Rng rng(7);
+  const NodeId n = 800;
+  const graph::Graph full =
+      graph::PlantedPartition(n, 10, 8.0, 0.5, /*weighted=*/true, rng);
+
+  // Hide 15% of the undirected edges (only u < v representatives).
+  std::vector<std::pair<NodeId, NodeId>> hidden;
+  graph::GraphBuilder observed_builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Neighbor& nb : full.OutNeighbors(u)) {
+      if (u >= nb.node) continue;
+      if (rng.NextDouble() < 0.15) {
+        hidden.emplace_back(u, nb.node);
+      } else {
+        observed_builder.AddUndirectedEdge(u, nb.node, nb.weight);
+      }
+    }
+  }
+  const graph::Graph observed = std::move(observed_builder).Build();
+  std::printf("Observed graph: %s\n", graph::DescribeGraph(observed).c_str());
+  std::printf("Hidden future collaborations: %zu\n", hidden.size());
+
+  const core::KDashIndex index = core::KDashIndex::Build(observed, {});
+  core::KDashSearcher searcher(&index);
+
+  // For each author with a hidden collaboration, predict the top-10
+  // non-neighbors by proximity; count hits.
+  std::set<NodeId> authors;
+  std::set<std::pair<NodeId, NodeId>> hidden_set;
+  for (const auto& [u, v] : hidden) {
+    authors.insert(u);
+    hidden_set.insert({u, v});
+    hidden_set.insert({v, u});
+  }
+
+  int rwr_hits = 0, random_hits = 0, predictions = 0;
+  constexpr int kPerAuthor = 10;
+  for (const NodeId author : authors) {
+    std::set<NodeId> known{author};
+    for (const graph::Neighbor& nb : observed.OutNeighbors(author)) {
+      known.insert(nb.node);
+    }
+
+    const auto ranked = searcher.TopK(author, 64);
+    int made = 0;
+    for (const auto& entry : ranked) {
+      if (known.count(entry.node)) continue;
+      ++predictions;
+      if (hidden_set.count({author, entry.node})) ++rwr_hits;
+      if (++made == kPerAuthor) break;
+    }
+    // Random baseline: same number of guesses among non-neighbors.
+    for (int g = 0; g < made; ++g) {
+      const NodeId guess = rng.NextNode(n);
+      if (!known.count(guess) && hidden_set.count({author, guess})) {
+        ++random_hits;
+      }
+    }
+  }
+
+  std::printf("\nPredictions per author: %d\n", kPerAuthor);
+  std::printf("RWR top-k hit rate    : %.4f (%d / %d)\n",
+              static_cast<double>(rwr_hits) / predictions, rwr_hits,
+              predictions);
+  std::printf("Random guess hit rate : %.4f (%d / %d)\n",
+              static_cast<double>(random_hits) / predictions, random_hits,
+              predictions);
+  std::printf(
+      "\nRWR captures the global graph structure (common collaborators,\n"
+      "community membership), so it should beat random prediction by a\n"
+      "wide margin — the paper's link-prediction motivation.\n");
+  return rwr_hits > random_hits ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+// Recommender-system example (the Konstas et al. scenario from the paper's
+// related work): RWR proximities over a user–item bipartite graph rank
+// items for a user; high-proximity unrated items are the recommendations.
+//
+//   $ ./examples/recommendation
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace kdash;
+
+  constexpr NodeId kUsers = 400;
+  constexpr NodeId kItems = 800;
+  constexpr Index kRatings = 6000;
+
+  Rng rng(2026);
+  const graph::Graph graph =
+      graph::BipartiteRatings(kUsers, kItems, kRatings, rng);
+  std::printf("User-item graph: %s\n", graph::DescribeGraph(graph).c_str());
+
+  const core::KDashIndex index = core::KDashIndex::Build(graph, {});
+  core::KDashSearcher searcher(&index);
+
+  // Recommend for a handful of users: rank everything by RWR proximity but
+  // exclude the user, all other users, and already-rated items — the top-k
+  // that remains are unseen items reached through taste-alike users.
+  for (const NodeId user : {0, 7, 42}) {
+    std::set<NodeId> rated;
+    for (const graph::Neighbor& nb : graph.OutNeighbors(user)) {
+      rated.insert(nb.node);
+    }
+
+    // Exclude the user's own node, all other users, and the rated items
+    // from the ranking itself — the exact top-k *of the allowed items*.
+    std::vector<NodeId> exclude(rated.begin(), rated.end());
+    for (NodeId other = 0; other < kUsers; ++other) exclude.push_back(other);
+    core::SearchOptions options;
+    options.exclude = &exclude;
+    const auto ranked = searcher.TopK(user, 5, options);
+    std::printf("\nUser %d (%zu ratings) — top recommendations:\n", user,
+                rated.size());
+    for (const auto& entry : ranked) {
+      std::printf("  item %-5d proximity %.6f\n", entry.node - kUsers,
+                  entry.score);
+    }
+    if (ranked.empty()) {
+      std::printf("  (no unrated items reachable — user is isolated)\n");
+    }
+  }
+
+  std::printf(
+      "\nRecommendations are exact RWR rankings (Theorem 2), so item order\n"
+      "is reproducible and auditable — no approximation rank to tune.\n");
+  return 0;
+}

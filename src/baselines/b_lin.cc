@@ -1,0 +1,135 @@
+#include "baselines/b_lin.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "linalg/randomized_svd.h"
+#include "lu/sparse_lu.h"
+#include "lu/triangular.h"
+#include "reorder/louvain.h"
+#include "sparse/coo_builder.h"
+
+namespace kdash::baselines {
+
+BLin::BLin(const graph::Graph& graph, const BLinOptions& options)
+    : options_(options), num_nodes_(graph.num_nodes()) {
+  KDASH_CHECK(options.restart_prob > 0.0 && options.restart_prob < 1.0);
+  const WallTimer timer;
+  const Scalar damp = 1.0 - options.restart_prob;
+
+  // Partition; split A into within-partition A₁ and cross-partition A₂.
+  reorder::LouvainOptions louvain_options;
+  louvain_options.seed = options.seed;
+  const reorder::LouvainResult partition =
+      reorder::RunLouvain(graph, louvain_options);
+  num_partitions_ = partition.num_communities;
+
+  const sparse::CscMatrix a = graph.NormalizedAdjacency();
+  sparse::CooBuilder a1_builder(num_nodes_, num_nodes_);
+  sparse::CooBuilder a2_builder(num_nodes_, num_nodes_);
+  for (NodeId col = 0; col < num_nodes_; ++col) {
+    const NodeId col_part =
+        partition.community_of_node[static_cast<std::size_t>(col)];
+    const Index end = a.ColEnd(col);
+    for (Index t = a.ColBegin(col); t < end; ++t) {
+      const NodeId row = a.RowIndex(t);
+      if (partition.community_of_node[static_cast<std::size_t>(row)] == col_part) {
+        a1_builder.Add(row, col, a.Value(t));
+      } else {
+        a2_builder.Add(row, col, a.Value(t));
+      }
+    }
+  }
+  const sparse::CscMatrix a1 = a1_builder.BuildCsc();
+  const sparse::CscMatrix a2 = a2_builder.BuildCsc();
+
+  // W₁ = I - (1-c)A₁ is block diagonal (its graph has no cross-partition
+  // edges), so the exact LU and triangular inverses stay block-confined.
+  const sparse::CscMatrix w1 =
+      lu::BuildRwrSystemMatrix(a1, options.restart_prob);
+  const lu::LuFactors factors = lu::FactorizeLu(w1);
+  const sparse::CscMatrix l_inv = lu::InvertLowerTriangular(factors.lower);
+  const sparse::CscMatrix u_inv = lu::InvertUpperTriangular(factors.upper);
+  // W₁⁻¹ = U⁻¹ L⁻¹, assembled explicitly (block-sparse).
+  {
+    sparse::CooBuilder w1_inv_builder(num_nodes_, num_nodes_);
+    std::vector<Scalar> column(static_cast<std::size_t>(num_nodes_), 0.0);
+    std::vector<NodeId> touched;
+    for (NodeId j = 0; j < num_nodes_; ++j) {
+      touched.clear();
+      // column = U⁻¹ · (L⁻¹ e_j): combine the stored column of L⁻¹ with
+      // columns of U⁻¹.
+      const Index lj_end = l_inv.ColEnd(j);
+      for (Index t = l_inv.ColBegin(j); t < lj_end; ++t) {
+        const NodeId k = l_inv.RowIndex(t);
+        const Scalar coeff = l_inv.Value(t);
+        const Index uk_end = u_inv.ColEnd(k);
+        for (Index s = u_inv.ColBegin(k); s < uk_end; ++s) {
+          const NodeId row = u_inv.RowIndex(s);
+          if (column[static_cast<std::size_t>(row)] == 0.0) touched.push_back(row);
+          column[static_cast<std::size_t>(row)] += u_inv.Value(s) * coeff;
+        }
+      }
+      for (const NodeId row : touched) {
+        const Scalar value = column[static_cast<std::size_t>(row)];
+        column[static_cast<std::size_t>(row)] = 0.0;
+        if (value != 0.0) w1_inv_builder.Add(row, j, value);
+      }
+    }
+    w1_inverse_ = w1_inv_builder.BuildCsc();
+  }
+
+  // Rank-r SVD of the cross-partition matrix.
+  Rng rng(options.seed);
+  linalg::SvdOptions svd_options;
+  svd_options.rank = options.target_rank;
+  const linalg::SvdResult svd = linalg::RandomizedSvd(a2, svd_options, rng);
+  v_ = svd.v;
+
+  // Ũ = W₁⁻¹ U and Λ = (Σ⁻¹ - (1-c) Vᵀ Ũ)⁻¹.
+  u_tilde_ = linalg::SparseDenseMatMul(w1_inverse_, svd.u);
+  const int r = static_cast<int>(svd.singular_values.size());
+  linalg::DenseMatrix core = linalg::TransposeMatMul(v_, u_tilde_);
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) core(i, j) = -damp * core(i, j);
+    const Scalar sigma = svd.singular_values[static_cast<std::size_t>(i)];
+    core(i, i) += sigma > 1e-12 ? 1.0 / sigma : 1e12;
+  }
+  lambda_ = linalg::InvertDense(core);
+  precompute_seconds_ = timer.Seconds();
+}
+
+std::vector<Scalar> BLin::Solve(NodeId query) const {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  const Scalar c = options_.restart_prob;
+  const Scalar damp = 1.0 - c;
+  const int r = lambda_.rows();
+
+  // w = W₁⁻¹ e_q: a stored sparse column.
+  // z = Vᵀ w over the column's nonzeros only.
+  std::vector<Scalar> z(static_cast<std::size_t>(r), 0.0);
+  const Index end = w1_inverse_.ColEnd(query);
+  for (Index t = w1_inverse_.ColBegin(query); t < end; ++t) {
+    const NodeId i = w1_inverse_.RowIndex(t);
+    const Scalar wi = w1_inverse_.Value(t);
+    for (int j = 0; j < r; ++j) {
+      z[static_cast<std::size_t>(j)] += v_(i, j) * wi;
+    }
+  }
+  const std::vector<Scalar> y = linalg::MatVec(lambda_, z);
+
+  // p = c (w + (1-c) Ũ y).
+  std::vector<Scalar> p = linalg::MatVec(u_tilde_, y);
+  for (auto& value : p) value *= c * damp;
+  for (Index t = w1_inverse_.ColBegin(query); t < end; ++t) {
+    p[static_cast<std::size_t>(w1_inverse_.RowIndex(t))] +=
+        c * w1_inverse_.Value(t);
+  }
+  return p;
+}
+
+std::vector<ScoredNode> BLin::TopK(NodeId query, std::size_t k) const {
+  return TopKOfVector(Solve(query), k);
+}
+
+}  // namespace kdash::baselines

@@ -1,0 +1,165 @@
+#include "baselines/basic_push.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "rwr/direct_solver.h"
+
+namespace kdash::baselines {
+
+BasicPush::BasicPush(const sparse::CscMatrix& a,
+                     const BasicPushOptions& options)
+    : options_(options), num_nodes_(a.rows()), a_(a) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  const WallTimer timer;
+
+  // Hub selection: highest in-degree nodes of A (they accumulate the most
+  // residual mass, so absorbing them exactly pays off most).
+  std::vector<Index> in_degree(static_cast<std::size_t>(num_nodes_), 0);
+  for (NodeId col = 0; col < num_nodes_; ++col) {
+    const Index end = a_.ColEnd(col);
+    for (Index t = a_.ColBegin(col); t < end; ++t) {
+      ++in_degree[static_cast<std::size_t>(a_.RowIndex(t))];
+    }
+  }
+  std::vector<NodeId> by_degree(static_cast<std::size_t>(num_nodes_));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](NodeId x, NodeId y) {
+    return in_degree[static_cast<std::size_t>(x)] >
+           in_degree[static_cast<std::size_t>(y)];
+  });
+  const int hubs = std::min<int>(options.num_hubs, num_nodes_);
+  hub_ids_.assign(by_degree.begin(), by_degree.begin() + hubs);
+  hub_index_of_node_.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+  for (int h = 0; h < hubs; ++h) {
+    hub_index_of_node_[static_cast<std::size_t>(hub_ids_[static_cast<std::size_t>(h)])] =
+        static_cast<NodeId>(h);
+  }
+
+  // Exact hub vectors via one shared factorization.
+  const rwr::DirectRwrSolver solver(a_, options.restart_prob);
+  hub_vectors_.reserve(hub_ids_.size());
+  for (const NodeId hub : hub_ids_) {
+    hub_vectors_.push_back(solver.Solve(hub));
+  }
+  precompute_seconds_ = timer.Seconds();
+}
+
+std::vector<ScoredNode> BasicPush::TopK(NodeId query, std::size_t k,
+                                        BasicPushStats* stats) const {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  KDASH_CHECK(k > 0);
+  const Scalar c = options_.restart_prob;
+  const Scalar damp = 1.0 - c;
+
+  std::vector<Scalar> estimate(static_cast<std::size_t>(num_nodes_), 0.0);
+  std::vector<Scalar> residual(static_cast<std::size_t>(num_nodes_), 0.0);
+  // Max-residual priority queue with lazy (stale) entries.
+  using Entry = std::pair<Scalar, NodeId>;
+  std::priority_queue<Entry> queue;
+
+  BasicPushStats local_stats;
+  Scalar total_residual = 1.0;
+
+  // Seed: all mass on the query. If the query is itself a hub, fold
+  // immediately — the answer is exact.
+  auto fold_hub = [&](NodeId hub_node, Scalar mass) {
+    const NodeId h = hub_index_of_node_[static_cast<std::size_t>(hub_node)];
+    const std::vector<Scalar>& vec = hub_vectors_[static_cast<std::size_t>(h)];
+    for (std::size_t i = 0; i < vec.size(); ++i) estimate[i] += mass * vec[i];
+    total_residual -= mass;
+    ++local_stats.hub_folds;
+  };
+
+  if (hub_index_of_node_[static_cast<std::size_t>(query)] != kInvalidNode) {
+    fold_hub(query, 1.0);
+  } else {
+    residual[static_cast<std::size_t>(query)] = 1.0;
+    queue.emplace(1.0, query);
+  }
+
+  const std::size_t heap_k = k;
+  auto separation_reached = [&]() {
+    // Lower bounds are the estimates; upper bounds add the outstanding
+    // residual. Separation: K-th best lower bound ≥ best upper bound among
+    // nodes outside the current top-K ⇔ lb_K ≥ lb_{K+1} + R.
+    TopKHeap heap(heap_k + 1);
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      heap.Push(u, estimate[static_cast<std::size_t>(u)]);
+    }
+    const std::vector<ScoredNode> best = heap.Sorted();
+    if (best.size() <= heap_k) return true;
+    return best[heap_k - 1].score >= best[heap_k].score + total_residual;
+  };
+
+  int since_check = 0;
+  while (!queue.empty() && total_residual > options_.residual_floor) {
+    const auto [value, u] = queue.top();
+    queue.pop();
+    const Scalar ru = residual[static_cast<std::size_t>(u)];
+    if (ru <= 0.0 || value != ru) continue;  // stale entry
+
+    residual[static_cast<std::size_t>(u)] = 0.0;
+    if (hub_index_of_node_[static_cast<std::size_t>(u)] != kInvalidNode) {
+      fold_hub(u, ru);
+    } else {
+      // Push: keep c·ρ(u) at u, spread (1-c)·ρ(u) along column u of A.
+      estimate[static_cast<std::size_t>(u)] += c * ru;
+      total_residual -= c * ru;
+      const Index end = a_.ColEnd(u);
+      Scalar spread = 0.0;
+      for (Index t = a_.ColBegin(u); t < end; ++t) {
+        const NodeId v = a_.RowIndex(t);
+        const Scalar dr = damp * a_.Value(t) * ru;
+        residual[static_cast<std::size_t>(v)] += dr;
+        spread += dr;
+        queue.emplace(residual[static_cast<std::size_t>(v)], v);
+      }
+      // Dangling columns leak (1-c)·ρ(u) out of the walk entirely.
+      total_residual -= damp * ru - spread;
+      ++local_stats.pushes;
+    }
+
+    if (++since_check >= options_.check_interval) {
+      since_check = 0;
+      if (separation_reached()) break;
+    }
+  }
+
+  // Recall-1 answer set: everything whose upper bound reaches the K-th
+  // lower bound. A node that ever received residual mass has either been
+  // pushed (estimate > 0) or still holds residual > 0, so the pair of
+  // conditions below covers every node with potentially-positive
+  // proximity; fully untouched nodes satisfy p(v) ≤ R and are covered by
+  // the θ comparison once separation is reached.
+  TopKHeap heap(heap_k);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    heap.Push(u, estimate[static_cast<std::size_t>(u)]);
+  }
+  const Scalar theta = heap.Threshold();
+  // The residual total is maintained by repeated subtraction and can drift
+  // a few ulp below its true (non-negative) value; exact proximity ties
+  // then sit exactly on the θ boundary. Clamp and add relative slack so
+  // the recall guarantee survives floating point.
+  const Scalar outstanding = std::max<Scalar>(total_residual, 0.0);
+  const Scalar slack = 1e-12 * (1.0 + theta);
+  std::vector<ScoredNode> answer;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const Scalar lb = estimate[static_cast<std::size_t>(u)];
+    const bool touched = lb > 0.0 || residual[static_cast<std::size_t>(u)] > 0.0;
+    if (lb + outstanding + slack >= theta && touched) {
+      answer.push_back(ScoredNode{u, lb});
+    }
+  }
+  std::sort(answer.begin(), answer.end(), RanksHigher);
+
+  local_stats.final_residual = total_residual;
+  local_stats.answer_size = answer.size();
+  if (stats != nullptr) *stats = local_stats;
+  return answer;
+}
+
+}  // namespace kdash::baselines

@@ -1,0 +1,82 @@
+#include "baselines/local_rwr.h"
+
+#include "common/check.h"
+#include "reorder/louvain.h"
+#include "rwr/power_iteration.h"
+#include "sparse/coo_builder.h"
+
+namespace kdash::baselines {
+
+PartitionLocalRwr::PartitionLocalRwr(const graph::Graph& graph,
+                                     const LocalRwrOptions& options)
+    : options_(options), num_nodes_(graph.num_nodes()) {
+  reorder::LouvainOptions louvain_options;
+  louvain_options.seed = options.seed;
+  const reorder::LouvainResult louvain =
+      reorder::RunLouvain(graph, louvain_options);
+
+  partition_of_node_ = louvain.community_of_node;
+  local_id_of_node_.assign(static_cast<std::size_t>(num_nodes_), kInvalidNode);
+  partitions_.resize(static_cast<std::size_t>(louvain.num_communities));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    auto& partition =
+        partitions_[static_cast<std::size_t>(partition_of_node_[static_cast<std::size_t>(u)])];
+    local_id_of_node_[static_cast<std::size_t>(u)] =
+        static_cast<NodeId>(partition.members.size());
+    partition.members.push_back(u);
+  }
+
+  // Induced subgraph per partition, column-renormalized over the edges
+  // that survive (cross-partition mass is simply discarded — the method's
+  // defining approximation).
+  for (auto& partition : partitions_) {
+    const NodeId size = static_cast<NodeId>(partition.members.size());
+    sparse::CooBuilder builder(size, size);
+    for (NodeId local_v = 0; local_v < size; ++local_v) {
+      const NodeId v = partition.members[static_cast<std::size_t>(local_v)];
+      Scalar within_weight = 0.0;
+      for (const graph::Neighbor& nb : graph.OutNeighbors(v)) {
+        if (partition_of_node_[static_cast<std::size_t>(nb.node)] ==
+            partition_of_node_[static_cast<std::size_t>(v)]) {
+          within_weight += nb.weight;
+        }
+      }
+      if (within_weight <= 0.0) continue;
+      for (const graph::Neighbor& nb : graph.OutNeighbors(v)) {
+        if (partition_of_node_[static_cast<std::size_t>(nb.node)] ==
+            partition_of_node_[static_cast<std::size_t>(v)]) {
+          builder.Add(local_id_of_node_[static_cast<std::size_t>(nb.node)],
+                      local_v, nb.weight / within_weight);
+        }
+      }
+    }
+    partition.adjacency = builder.BuildCsc();
+  }
+}
+
+std::vector<Scalar> PartitionLocalRwr::Solve(NodeId query) const {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  const auto& partition =
+      partitions_[static_cast<std::size_t>(partition_of_node_[static_cast<std::size_t>(query)])];
+
+  rwr::PowerIterationOptions pi;
+  pi.restart_prob = options_.restart_prob;
+  pi.tolerance = options_.tolerance;
+  pi.max_iterations = options_.max_iterations;
+  const auto local = rwr::SolveRwr(
+      partition.adjacency, local_id_of_node_[static_cast<std::size_t>(query)], pi);
+
+  std::vector<Scalar> full(static_cast<std::size_t>(num_nodes_), 0.0);
+  for (std::size_t local_u = 0; local_u < partition.members.size(); ++local_u) {
+    full[static_cast<std::size_t>(partition.members[local_u])] =
+        local.proximity[local_u];
+  }
+  return full;
+}
+
+std::vector<ScoredNode> PartitionLocalRwr::TopK(NodeId query,
+                                                std::size_t k) const {
+  return TopKOfVector(Solve(query), k);
+}
+
+}  // namespace kdash::baselines

@@ -1,0 +1,76 @@
+#include "baselines/monte_carlo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kdash::baselines {
+
+MonteCarloRwr::MonteCarloRwr(const sparse::CscMatrix& a,
+                             const MonteCarloOptions& options)
+    : options_(options), num_nodes_(a.rows()) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  KDASH_CHECK(options.num_walks > 0);
+  KDASH_CHECK(options.restart_prob > 0.0 && options.restart_prob < 1.0);
+
+  col_ptr_ = a.col_ptr();
+  row_idx_ = a.row_idx();
+  cumulative_.resize(static_cast<std::size_t>(a.nnz()));
+  column_mass_.assign(static_cast<std::size_t>(num_nodes_), 0.0);
+  for (NodeId col = 0; col < num_nodes_; ++col) {
+    Scalar running = 0.0;
+    for (Index k = a.ColBegin(col); k < a.ColEnd(col); ++k) {
+      running += a.Value(k);
+      cumulative_[static_cast<std::size_t>(k)] = running;
+    }
+    column_mass_[static_cast<std::size_t>(col)] = running;
+  }
+}
+
+std::vector<Scalar> MonteCarloRwr::Solve(NodeId query) const {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  // Per-query deterministic stream (independent of call order).
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(query) * 0x9e3779b9ULL));
+
+  std::vector<Index> visits(static_cast<std::size_t>(num_nodes_), 0);
+  Index total_visits = 0;
+  const Scalar c = options_.restart_prob;
+
+  for (int walk = 0; walk < options_.num_walks; ++walk) {
+    NodeId u = query;
+    for (;;) {
+      ++visits[static_cast<std::size_t>(u)];
+      ++total_visits;
+      if (rng.NextDouble() < c) break;  // restart ends the walk segment
+      // Step along column u; sub-stochastic columns can absorb the walk
+      // (dangling mass leaks, matching the library-wide convention).
+      const Scalar mass = column_mass_[static_cast<std::size_t>(u)];
+      if (mass <= 0.0) break;
+      const Scalar r = rng.NextDouble() * 1.0;
+      if (r >= mass) break;  // leaked
+      const auto begin = cumulative_.begin() +
+                         static_cast<std::ptrdiff_t>(col_ptr_[static_cast<std::size_t>(u)]);
+      const auto end = cumulative_.begin() +
+                       static_cast<std::ptrdiff_t>(col_ptr_[static_cast<std::size_t>(u) + 1]);
+      const auto it = std::upper_bound(begin, end, r);
+      KDASH_DCHECK(it != end);
+      u = row_idx_[static_cast<std::size_t>(it - cumulative_.begin())];
+    }
+  }
+
+  // Normalize: each walk contributes a geometric number of visits with
+  // mean 1/c, so visits/num_walks·c estimates p (which sums to ≤ 1).
+  std::vector<Scalar> p(static_cast<std::size_t>(num_nodes_), 0.0);
+  const Scalar scale = c / static_cast<Scalar>(options_.num_walks);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    p[static_cast<std::size_t>(u)] =
+        scale * static_cast<Scalar>(visits[static_cast<std::size_t>(u)]);
+  }
+  return p;
+}
+
+std::vector<ScoredNode> MonteCarloRwr::TopK(NodeId query, std::size_t k) const {
+  return TopKOfVector(Solve(query), k);
+}
+
+}  // namespace kdash::baselines

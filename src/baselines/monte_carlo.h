@@ -1,0 +1,56 @@
+// Monte Carlo top-k RWR (the Avrachenkov et al. family, WAW 2011).
+//
+// The paper's Section 6 mentions this line of work as the other fast
+// Personalized-PageRank top-k approach, chosen against Basic Push because
+// Monte Carlo gives only probabilistic guarantees: simulate R independent
+// restart-terminated walks from the query and rank nodes by visit
+// frequency. The estimator is unbiased (E[visits(u)] / E[total] → p(u))
+// and the top of the ranking stabilizes quickly, but exactness is never
+// guaranteed — precision grows like 1 - O(1/√R).
+#ifndef KDASH_BASELINES_MONTE_CARLO_H_
+#define KDASH_BASELINES_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/top_k.h"
+#include "common/types.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::baselines {
+
+struct MonteCarloOptions {
+  Scalar restart_prob = 0.95;
+  // Number of simulated walks per query.
+  int num_walks = 10000;
+  std::uint64_t seed = 42;
+};
+
+class MonteCarloRwr {
+ public:
+  // Precomputes per-column alias-free sampling (cumulative transition
+  // probabilities) so each step is one binary search.
+  MonteCarloRwr(const sparse::CscMatrix& a, const MonteCarloOptions& options);
+
+  // Visit-frequency estimate of the proximity vector.
+  std::vector<Scalar> Solve(NodeId query) const;
+
+  std::vector<ScoredNode> TopK(NodeId query, std::size_t k) const;
+
+  int num_walks() const { return options_.num_walks; }
+
+ private:
+  MonteCarloOptions options_;
+  NodeId num_nodes_ = 0;
+  // CSC-aligned cumulative probabilities per column; cum_[k] is the
+  // cumulative transition mass of A's k-th stored entry within its column.
+  std::vector<Index> col_ptr_;
+  std::vector<NodeId> row_idx_;
+  std::vector<Scalar> cumulative_;
+  std::vector<Scalar> column_mass_;  // < 1 for sub-stochastic columns
+};
+
+}  // namespace kdash::baselines
+
+#endif  // KDASH_BASELINES_MONTE_CARLO_H_

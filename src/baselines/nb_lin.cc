@@ -1,0 +1,59 @@
+#include "baselines/nb_lin.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace kdash::baselines {
+
+NbLin::NbLin(const sparse::CscMatrix& a, const NbLinOptions& options)
+    : options_(options), num_nodes_(a.rows()) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  KDASH_CHECK(options.restart_prob > 0.0 && options.restart_prob < 1.0);
+  const WallTimer timer;
+
+  Rng rng(options.seed);
+  linalg::SvdOptions svd_options;
+  svd_options.rank = options.target_rank;
+  const linalg::SvdResult svd = linalg::RandomizedSvd(a, svd_options, rng);
+  u_ = svd.u;
+  v_ = svd.v;
+
+  // Λ = (Σ⁻¹ - (1-c) Vᵀ U)⁻¹.
+  const int r = static_cast<int>(svd.singular_values.size());
+  const Scalar damp = 1.0 - options.restart_prob;
+  linalg::DenseMatrix core = linalg::TransposeMatMul(v_, u_);  // r × r
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < r; ++j) core(i, j) = -damp * core(i, j);
+    const Scalar sigma = svd.singular_values[static_cast<std::size_t>(i)];
+    // Zero singular values contribute nothing; give them a huge Σ⁻¹ so the
+    // corresponding Λ rows vanish.
+    core(i, i) += sigma > 1e-12 ? 1.0 / sigma : 1e12;
+  }
+  lambda_ = linalg::InvertDense(core);
+  precompute_seconds_ = timer.Seconds();
+}
+
+std::vector<Scalar> NbLin::Solve(NodeId query) const {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  const Scalar c = options_.restart_prob;
+  const Scalar damp = 1.0 - c;
+  const int r = lambda_.rows();
+
+  // z = Vᵀ e_q is row `query` of V.
+  std::vector<Scalar> z(static_cast<std::size_t>(r), 0.0);
+  for (int j = 0; j < r; ++j) z[static_cast<std::size_t>(j)] = v_(query, j);
+  // w = Λ z.
+  const std::vector<Scalar> w = linalg::MatVec(lambda_, z);
+  // p = c e_q + c (1-c) U w.
+  std::vector<Scalar> p = linalg::MatVec(u_, w);
+  for (auto& value : p) value *= c * damp;
+  p[static_cast<std::size_t>(query)] += c;
+  return p;
+}
+
+std::vector<ScoredNode> NbLin::TopK(NodeId query, std::size_t k) const {
+  return TopKOfVector(Solve(query), k);
+}
+
+}  // namespace kdash::baselines

@@ -1,0 +1,56 @@
+// NB_LIN (Tong, Faloutsos, Pan — "Fast Random Walk with Restart and Its
+// Applications", ICDM 2006): the low-rank approximate RWR solver the paper
+// compares against in Figures 2–4.
+//
+// Precompute: A ≈ U Σ Vᵀ (rank r), then by Sherman–Morrison–Woodbury
+//   W⁻¹ = (I - (1-c) U Σ Vᵀ)⁻¹ ≈ I + (1-c) U Λ Vᵀ,
+//   Λ = (Σ⁻¹ - (1-c) Vᵀ U)⁻¹  (r × r dense).
+// Query: p̃ = c q + c (1-c) U Λ (Vᵀ q); O(n·r) per query, O(n·r) space —
+// the O(n²)/O(n²) behavior of Theorem 3 shows up as r grows toward n.
+// The target rank is the accuracy/speed knob swept in Figures 3–4.
+#ifndef KDASH_BASELINES_NB_LIN_H_
+#define KDASH_BASELINES_NB_LIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/top_k.h"
+#include "common/types.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/randomized_svd.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::baselines {
+
+struct NbLinOptions {
+  Scalar restart_prob = 0.95;
+  int target_rank = 100;
+  std::uint64_t seed = 42;
+};
+
+class NbLin {
+ public:
+  NbLin(const sparse::CscMatrix& a, const NbLinOptions& options);
+
+  // Approximate proximity vector for the query node.
+  std::vector<Scalar> Solve(NodeId query) const;
+
+  // Top-k of the approximate proximities (NB_LIN scores all n nodes; K has
+  // no effect on its cost, as the paper notes for Figure 2).
+  std::vector<ScoredNode> TopK(NodeId query, std::size_t k) const;
+
+  int target_rank() const { return options_.target_rank; }
+  double precompute_seconds() const { return precompute_seconds_; }
+
+ private:
+  NbLinOptions options_;
+  NodeId num_nodes_ = 0;
+  linalg::DenseMatrix u_;        // n × r
+  linalg::DenseMatrix v_;        // n × r
+  linalg::DenseMatrix lambda_;   // r × r
+  double precompute_seconds_ = 0.0;
+};
+
+}  // namespace kdash::baselines
+
+#endif  // KDASH_BASELINES_NB_LIN_H_

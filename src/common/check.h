@@ -1,0 +1,71 @@
+// Lightweight runtime assertion macros.
+//
+// KDASH_CHECK is always on (it guards API misuse and data-structure
+// invariants whose violation would corrupt results); KDASH_DCHECK compiles
+// away in NDEBUG builds and is used on hot paths.
+#ifndef KDASH_COMMON_CHECK_H_
+#define KDASH_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace kdash::internal {
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Accumulates an optional streamed message for a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace kdash::internal
+
+#define KDASH_CHECK(condition)                                       \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::kdash::internal::CheckMessageBuilder(__FILE__, __LINE__,       \
+                                           #condition)
+
+#define KDASH_CHECK_EQ(a, b) KDASH_CHECK((a) == (b))
+#define KDASH_CHECK_NE(a, b) KDASH_CHECK((a) != (b))
+#define KDASH_CHECK_LT(a, b) KDASH_CHECK((a) < (b))
+#define KDASH_CHECK_LE(a, b) KDASH_CHECK((a) <= (b))
+#define KDASH_CHECK_GT(a, b) KDASH_CHECK((a) > (b))
+#define KDASH_CHECK_GE(a, b) KDASH_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define KDASH_DCHECK(condition) \
+  if (true) {                   \
+  } else                        \
+    ::kdash::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+#else
+#define KDASH_DCHECK(condition) KDASH_CHECK(condition)
+#endif
+
+#define KDASH_DCHECK_EQ(a, b) KDASH_DCHECK((a) == (b))
+#define KDASH_DCHECK_LT(a, b) KDASH_DCHECK((a) < (b))
+#define KDASH_DCHECK_LE(a, b) KDASH_DCHECK((a) <= (b))
+#define KDASH_DCHECK_GE(a, b) KDASH_DCHECK((a) >= (b))
+
+#endif  // KDASH_COMMON_CHECK_H_

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (graph generators, randomized
+// SVD, random reordering, workload query sampling) draws from this engine so
+// that experiments are reproducible from a single seed.
+#ifndef KDASH_COMMON_RANDOM_H_
+#define KDASH_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace kdash {
+
+// xoshiro256** by Blackman & Vigna, seeded through SplitMix64. Fast,
+// high-quality, and fully deterministic across platforms (unlike
+// std::mt19937 + std::uniform_*_distribution, whose outputs are not
+// specified identically across standard libraries).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    KDASH_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi], inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    KDASH_DCHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  NodeId NextNode(NodeId num_nodes) {
+    return static_cast<NodeId>(NextBounded(static_cast<std::uint64_t>(num_nodes)));
+  }
+
+  // Standard normal via Box–Muller (sufficient for randomized SVD sketches).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = NextDouble();
+    while (u1 <= 0.0) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_gaussian_ = radius * std::sin(theta);
+    has_cached_gaussian_ = true;
+    return radius * std::cos(theta);
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename Container>
+  void Shuffle(Container& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = NextBounded(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace kdash
+
+#endif  // KDASH_COMMON_RANDOM_H_

@@ -1,0 +1,14 @@
+#include "common/top_k.h"
+
+namespace kdash {
+
+std::vector<ScoredNode> TopKOfVector(const std::vector<Scalar>& scores,
+                                     std::size_t k) {
+  TopKHeap heap(k);
+  for (std::size_t u = 0; u < scores.size(); ++u) {
+    heap.Push(static_cast<NodeId>(u), scores[u]);
+  }
+  return heap.Sorted();
+}
+
+}  // namespace kdash

@@ -1,0 +1,26 @@
+// Fundamental scalar types shared by every module.
+#ifndef KDASH_COMMON_TYPES_H_
+#define KDASH_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace kdash {
+
+// Node identifier. Graphs in this library are bounded by 2^31 - 1 nodes,
+// which comfortably covers the datasets evaluated in the paper (largest:
+// Email, 265,214 nodes).
+using NodeId = std::int32_t;
+
+// Index into a nonzero array (edge arrays, sparse-matrix value arrays).
+// 64-bit: the explicit triangular inverses can have far more nonzeros than
+// the input graph has edges.
+using Index = std::int64_t;
+
+// Proximity scores, matrix values, and edge weights.
+using Scalar = double;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace kdash
+
+#endif  // KDASH_COMMON_TYPES_H_

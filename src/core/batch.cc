@@ -1,0 +1,47 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+
+namespace kdash::core {
+
+std::vector<BatchQueryResult> TopKBatch(const KDashIndex& index,
+                                        const std::vector<NodeId>& queries,
+                                        std::size_t k,
+                                        const SearchOptions& options,
+                                        int num_threads) {
+  std::vector<BatchQueryResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads = std::min<int>(num_threads, static_cast<int>(queries.size()));
+
+  std::atomic<std::size_t> cursor{0};
+  auto worker = [&] {
+    KDashSearcher searcher(&index);
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) break;
+      BatchQueryResult& result = results[i];
+      result.query = queries[i];
+      result.top = searcher.TopK(queries[i], k, options, &result.stats);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+  for (auto& thread : threads) thread.join();
+  return results;
+}
+
+}  // namespace kdash::core

@@ -1,0 +1,36 @@
+// Parallel batch querying.
+//
+// The K-dash index is immutable after Build(), so queries parallelize
+// trivially: one KDashSearcher (with its private workspace) per worker
+// thread, queries distributed by an atomic cursor. This is the serving-path
+// companion to the paper's single-query algorithm.
+#ifndef KDASH_CORE_BATCH_H_
+#define KDASH_CORE_BATCH_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "common/types.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+
+namespace kdash::core {
+
+struct BatchQueryResult {
+  NodeId query = kInvalidNode;
+  std::vector<ScoredNode> top;
+  SearchStats stats;
+};
+
+// Runs TopK for every query, using `num_threads` workers (0 = hardware
+// concurrency, capped at the batch size). Results come back in input
+// order. Deterministic: identical to running the queries sequentially.
+std::vector<BatchQueryResult> TopKBatch(const KDashIndex& index,
+                                        const std::vector<NodeId>& queries,
+                                        std::size_t k,
+                                        const SearchOptions& options = {},
+                                        int num_threads = 0);
+
+}  // namespace kdash::core
+
+#endif  // KDASH_CORE_BATCH_H_

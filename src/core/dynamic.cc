@@ -1,0 +1,168 @@
+#include "core/dynamic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "lu/triangular.h"
+#include "sparse/coo_builder.h"
+
+namespace kdash::core {
+
+namespace {
+
+// Normalized adjacency from a mutable adjacency-map representation.
+sparse::CscMatrix NormalizedFromMaps(
+    NodeId n, const std::vector<std::map<NodeId, Scalar>>& out_edges) {
+  sparse::CooBuilder builder(n, n);
+  for (NodeId v = 0; v < n; ++v) {
+    Scalar total = 0.0;
+    for (const auto& [dst, weight] : out_edges[static_cast<std::size_t>(v)]) {
+      total += weight;
+    }
+    if (total <= 0.0) continue;
+    for (const auto& [dst, weight] : out_edges[static_cast<std::size_t>(v)]) {
+      builder.Add(dst, v, weight / total);
+    }
+  }
+  return builder.BuildCsc();
+}
+
+}  // namespace
+
+DynamicKDash::DynamicKDash(const graph::Graph& graph,
+                           const DynamicKDashOptions& options)
+    : options_(options), num_nodes_(graph.num_nodes()) {
+  KDASH_CHECK(options.restart_prob > 0.0 && options.restart_prob < 1.0);
+  KDASH_CHECK(options.max_pending_columns >= 1);
+  out_edges_.resize(static_cast<std::size_t>(num_nodes_));
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
+      out_edges_[static_cast<std::size_t>(u)][nb.node] = nb.weight;
+    }
+  }
+  Rebuild();
+}
+
+void DynamicKDash::Rebuild() {
+  base_a_ = NormalizedFromMaps(num_nodes_, out_edges_);
+  base_factors_ = lu::FactorizeLu(
+      lu::BuildRwrSystemMatrix(base_a_, options_.restart_prob));
+  delta_columns_.clear();
+  z_ = linalg::DenseMatrix();
+  m_ = linalg::DenseMatrix();
+  correction_fresh_ = true;
+  ++rebuild_count_;
+}
+
+void DynamicKDash::AddEdge(NodeId src, NodeId dst, Scalar weight) {
+  KDASH_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+  KDASH_CHECK(weight > 0.0);
+  out_edges_[static_cast<std::size_t>(src)][dst] += weight;
+  MarkColumnChanged(src);
+}
+
+void DynamicKDash::RemoveEdge(NodeId src, NodeId dst) {
+  KDASH_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+  auto& edges = out_edges_[static_cast<std::size_t>(src)];
+  const auto it = edges.find(dst);
+  KDASH_CHECK(it != edges.end()) << "edge " << src << "→" << dst
+                                 << " does not exist";
+  edges.erase(it);
+  MarkColumnChanged(src);
+}
+
+void DynamicKDash::MarkColumnChanged(NodeId u) {
+  const auto it =
+      std::lower_bound(delta_columns_.begin(), delta_columns_.end(), u);
+  if (it == delta_columns_.end() || *it != u) {
+    delta_columns_.insert(it, u);
+  }
+  correction_fresh_ = false;
+  if (static_cast<int>(delta_columns_.size()) > options_.max_pending_columns) {
+    Rebuild();
+  }
+}
+
+std::vector<Scalar> DynamicKDash::CurrentColumn(NodeId u) const {
+  std::vector<Scalar> column(static_cast<std::size_t>(num_nodes_), 0.0);
+  Scalar total = 0.0;
+  for (const auto& [dst, weight] : out_edges_[static_cast<std::size_t>(u)]) {
+    total += weight;
+  }
+  if (total <= 0.0) return column;
+  for (const auto& [dst, weight] : out_edges_[static_cast<std::size_t>(u)]) {
+    column[static_cast<std::size_t>(dst)] = weight / total;
+  }
+  return column;
+}
+
+std::vector<Scalar> DynamicKDash::BaseSolve(const std::vector<Scalar>& rhs) const {
+  std::vector<Scalar> x = rhs;
+  lu::SolveLowerInPlace(base_factors_.lower, x);
+  lu::SolveUpperInPlace(base_factors_.upper, x);
+  return x;
+}
+
+void DynamicKDash::RefreshCorrection() {
+  const int d = static_cast<int>(delta_columns_.size());
+  const Scalar damp = 1.0 - options_.restart_prob;
+
+  // Z = W₀⁻¹ D, one triangular-solve pair per changed column. The delta of
+  // column u is −(1-c)·(a_current(u) − a_base(u)).
+  z_ = linalg::DenseMatrix(num_nodes_, d);
+  for (int j = 0; j < d; ++j) {
+    const NodeId u = delta_columns_[static_cast<std::size_t>(j)];
+    std::vector<Scalar> delta = CurrentColumn(u);
+    for (Index k = base_a_.ColBegin(u); k < base_a_.ColEnd(u); ++k) {
+      delta[static_cast<std::size_t>(base_a_.RowIndex(k))] -= base_a_.Value(k);
+    }
+    for (auto& value : delta) value *= -damp;
+    const std::vector<Scalar> column = BaseSolve(delta);
+    for (NodeId i = 0; i < num_nodes_; ++i) {
+      z_(i, j) = column[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // M = (I_d + S Z)⁻¹ where S picks the changed rows of Z.
+  linalg::DenseMatrix core(d, d);
+  for (int r = 0; r < d; ++r) {
+    const NodeId u = delta_columns_[static_cast<std::size_t>(r)];
+    for (int j = 0; j < d; ++j) core(r, j) = z_(u, j);
+    core(r, r) += 1.0;
+  }
+  m_ = linalg::InvertDense(core);
+  correction_fresh_ = true;
+}
+
+std::vector<Scalar> DynamicKDash::Solve(NodeId query) {
+  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  if (!correction_fresh_) RefreshCorrection();
+
+  std::vector<Scalar> rhs(static_cast<std::size_t>(num_nodes_), 0.0);
+  rhs[static_cast<std::size_t>(query)] = options_.restart_prob;  // c·e_q
+  std::vector<Scalar> p = BaseSolve(rhs);
+  const int d = static_cast<int>(delta_columns_.size());
+  if (d == 0) return p;
+
+  // p ← p − Z·M·(S·p).
+  std::vector<Scalar> selected(static_cast<std::size_t>(d), 0.0);
+  for (int r = 0; r < d; ++r) {
+    selected[static_cast<std::size_t>(r)] =
+        p[static_cast<std::size_t>(delta_columns_[static_cast<std::size_t>(r)])];
+  }
+  const std::vector<Scalar> coefficients = linalg::MatVec(m_, selected);
+  const std::vector<Scalar> correction = linalg::MatVec(z_, coefficients);
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    p[static_cast<std::size_t>(i)] -= correction[static_cast<std::size_t>(i)];
+  }
+  return p;
+}
+
+std::vector<ScoredNode> DynamicKDash::TopK(NodeId query, std::size_t k) {
+  auto scores = Solve(query);
+  auto top = TopKOfVector(scores, k);
+  while (!top.empty() && top.back().score < 1e-13) top.pop_back();
+  return top;
+}
+
+}  // namespace kdash::core

@@ -1,0 +1,97 @@
+// Dynamic-graph extension: exact RWR under edge updates without immediate
+// refactorization.
+//
+// The paper's index is static; rebuilding it per edge change would cost the
+// full precompute. This wrapper keeps the *base* factorization W₀ = LU and
+// represents the current system as a low-rank correction
+//
+//   W = W₀ + D·S,   D = the changed columns' deltas (n × d),
+//                   S = selector rows e_uᵀ of the changed columns (d × n),
+//
+// because editing node u's out-edges only changes column u of the
+// normalized adjacency (renormalization included). By the Woodbury
+// identity every query stays exact:
+//
+//   W⁻¹x = W₀⁻¹x − Z·M·(S·W₀⁻¹x),  Z = W₀⁻¹D,  M = (I_d + S·Z)⁻¹.
+//
+// Solves against W₀ use the stored sparse LU factors (two triangular
+// solves); Z and M are refreshed only when the set of touched columns
+// changes. When d exceeds `max_pending_columns` the index auto-rebuilds
+// from the current graph, restoring the fast path. Queries return the full
+// exact proximity vector (no BFS pruning — the correction term is global),
+// so this sits between the iterative solver and the static K-dash index:
+// exact, factor-based, update-friendly.
+#ifndef KDASH_CORE_DYNAMIC_H_
+#define KDASH_CORE_DYNAMIC_H_
+
+#include <map>
+#include <vector>
+
+#include "common/top_k.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "lu/sparse_lu.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::core {
+
+struct DynamicKDashOptions {
+  Scalar restart_prob = 0.95;
+  // Auto-rebuild (refactorize) once this many distinct columns changed.
+  int max_pending_columns = 64;
+};
+
+class DynamicKDash {
+ public:
+  DynamicKDash(const graph::Graph& graph, const DynamicKDashOptions& options);
+
+  // Edge mutations. AddEdge on an existing edge adds weight; RemoveEdge
+  // aborts if the edge does not exist. Both are O(out-degree) plus a
+  // deferred O(solve) refresh on the next query.
+  void AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
+  void RemoveEdge(NodeId src, NodeId dst);
+
+  // Exact proximity vector under the *current* graph.
+  std::vector<Scalar> Solve(NodeId query);
+
+  // Exact top-k under the current graph.
+  std::vector<ScoredNode> TopK(NodeId query, std::size_t k);
+
+  // Number of columns currently represented as a correction.
+  int pending_columns() const { return static_cast<int>(delta_columns_.size()); }
+
+  // Fold all pending updates into a fresh factorization.
+  void Rebuild();
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int rebuild_count() const { return rebuild_count_; }
+
+ private:
+  // Current out-adjacency of node u as a sorted (dst, weight) list.
+  std::vector<Scalar> CurrentColumn(NodeId u) const;
+  void MarkColumnChanged(NodeId u);
+  void RefreshCorrection();
+  std::vector<Scalar> BaseSolve(const std::vector<Scalar>& rhs) const;
+
+  DynamicKDashOptions options_;
+  NodeId num_nodes_ = 0;
+
+  // Mutable adjacency (current graph).
+  std::vector<std::map<NodeId, Scalar>> out_edges_;
+
+  // Base system (as of the last Rebuild).
+  sparse::CscMatrix base_a_;
+  lu::LuFactors base_factors_;
+
+  // Correction state.
+  std::vector<NodeId> delta_columns_;       // changed column ids, sorted
+  linalg::DenseMatrix z_;                   // W₀⁻¹ D, n × d
+  linalg::DenseMatrix m_;                   // (I + S Z)⁻¹, d × d
+  bool correction_fresh_ = true;
+  int rebuild_count_ = 0;
+};
+
+}  // namespace kdash::core
+
+#endif  // KDASH_CORE_DYNAMIC_H_

@@ -1,0 +1,38 @@
+#include "core/estimator.h"
+
+namespace kdash::core {
+
+Scalar ProximityEstimator::EstimateDirect(
+    NodeId u, NodeId layer, const std::vector<Selected>& selected, Scalar amax,
+    const std::vector<Scalar>& amax_of_node,
+    const std::vector<Scalar>& c_prime_of_node) {
+  // Definition 1, term by term.
+  Scalar term1 = 0.0;  // selected nodes one layer above u
+  Scalar term2 = 0.0;  // selected nodes on u's layer (visited before u)
+  Scalar selected_mass = 0.0;
+  for (const Selected& s : selected) {
+    selected_mass += s.proximity;
+    const Scalar contribution =
+        s.proximity * amax_of_node[static_cast<std::size_t>(s.node)];
+    if (s.layer == layer - 1) {
+      term1 += contribution;
+    } else if (s.layer == layer) {
+      term2 += contribution;
+    }
+  }
+  const Scalar term3 = (1.0 - selected_mass) * amax;
+  return c_prime_of_node[static_cast<std::size_t>(u)] * (term1 + term2 + term3);
+}
+
+std::vector<Scalar> ComputeCPrime(const std::vector<Scalar>& a_diagonal,
+                                  Scalar restart_prob) {
+  std::vector<Scalar> c_prime(a_diagonal.size(), 0.0);
+  const Scalar c = restart_prob;
+  for (std::size_t u = 0; u < a_diagonal.size(); ++u) {
+    const Scalar auu = a_diagonal[u];
+    c_prime[u] = (1.0 - c) / (1.0 - auu + c * auu);
+  }
+  return c_prime;
+}
+
+}  // namespace kdash::core

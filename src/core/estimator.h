@@ -1,0 +1,151 @@
+// The breadth-first-tree proximity estimator of Section 4.3.
+//
+// While K-dash visits nodes in ascending BFS-layer order, this class
+// maintains the three terms of the upper-bound estimate p̄(u) (Definition 1)
+// incrementally in O(1) per node (Definition 2 / Lemma 3). Lemma 1
+// guarantees p̄(u) ≥ p(u); Lemma 2 guarantees p̄ is non-increasing along the
+// visit order, which makes the early termination of Algorithm 4 exact.
+//
+// Protocol per query:
+//   estimator.Reset();
+//   for each node u in BFS order:
+//     p_bar = (u == query) ? 1 : estimator.EstimateNext(u, layer(u));
+//     if (p_bar < theta) stop;                 // prune
+//     p = exact proximity of u;
+//     estimator.RecordSelected(u, layer(u), p);
+//
+// Paper erratum: Definition 2's u′ = q base case prints the third term as
+// (1 - p_q)·Amax(u); Definition 1 requires the global Amax, which is what we
+// implement (see DESIGN.md §8 and the Definition-1-equivalence test).
+#ifndef KDASH_CORE_ESTIMATOR_H_
+#define KDASH_CORE_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace kdash::core {
+
+class ProximityEstimator {
+ public:
+  // `amax` = max element of A; `amax_of_node[v]` = max element of column v
+  // (both precomputed, Section 4.3.1); `c_prime_of_node[u]` =
+  // (1-c) / (1 - A(u,u) + c·A(u,u)) (Definition 1).
+  ProximityEstimator(Scalar amax, const std::vector<Scalar>* amax_of_node,
+                     const std::vector<Scalar>* c_prime_of_node)
+      : amax_(amax),
+        amax_of_node_(amax_of_node),
+        c_prime_of_node_(c_prime_of_node) {
+    KDASH_CHECK(amax_of_node != nullptr && c_prime_of_node != nullptr);
+  }
+
+  // Starts a new query. The query node itself has p̄ = 1 by definition and
+  // must be recorded with RecordQuery() after its exact proximity is known.
+  void Reset() {
+    has_query_ = false;
+    prev_is_query_ = false;
+    pending_record_ = false;
+    sum1_ = sum2_ = sum3_ = 0.0;
+    root_contribution_ = 0.0;
+    root_mass_ = 0.0;
+    prev_node_ = kInvalidNode;
+    prev_layer_ = -1;
+    prev_proximity_ = 0.0;
+  }
+
+  // Records a layer-0 root as selected with its exact proximity. For a
+  // plain top-k query there is exactly one root (the query node, p̄ = 1 by
+  // Definition 1); a personalized restart-set query records every source
+  // node before the first EstimateNext — the Definition-1 terms then sum
+  // over all of them (multi-source BFS keeps Lemma 1's layer property).
+  void RecordQuery(NodeId query, Scalar proximity) {
+    KDASH_CHECK(!pending_record_);
+    has_query_ = true;
+    prev_is_query_ = true;
+    root_contribution_ +=
+        proximity * (*amax_of_node_)[static_cast<std::size_t>(query)];
+    root_mass_ += proximity;
+    prev_node_ = query;
+    prev_layer_ = 0;
+    prev_proximity_ = proximity;
+  }
+
+  // Upper bound p̄(u) for the next node in BFS order (u ≠ query). `layer`
+  // must equal the previous node's layer or exceed it by exactly 1.
+  Scalar EstimateNext(NodeId u, NodeId layer) {
+    KDASH_CHECK(has_query_) << "RecordQuery must run first";
+    const Scalar amax_prev = (*amax_of_node_)[static_cast<std::size_t>(prev_node_)];
+    if (prev_is_query_) {
+      // Definition 2, u′ = q, generalized to a root set: the first term
+      // gathers every layer-0 root's contribution.
+      KDASH_DCHECK_EQ(layer, 1);
+      sum1_ = root_contribution_;
+      sum2_ = 0.0;
+      sum3_ = (1.0 - root_mass_) * amax_;  // global Amax (see erratum)
+    } else if (layer == prev_layer_) {
+      sum2_ += prev_proximity_ * amax_prev;
+      sum3_ -= prev_proximity_ * amax_;
+    } else {
+      KDASH_DCHECK_EQ(layer, prev_layer_ + 1);
+      sum1_ = sum2_ + prev_proximity_ * amax_prev;
+      sum2_ = 0.0;
+      sum3_ -= prev_proximity_ * amax_;
+    }
+    prev_is_query_ = false;
+    prev_node_ = u;
+    prev_layer_ = layer;
+    prev_proximity_ = 0.0;  // filled in by RecordSelected
+    pending_record_ = true;
+    return (*c_prime_of_node_)[static_cast<std::size_t>(u)] *
+           (sum1_ + sum2_ + sum3_);
+  }
+
+  // Records the exact proximity of the node just estimated. Must follow
+  // every EstimateNext whose node was not pruned.
+  void RecordSelected(NodeId u, Scalar proximity) {
+    KDASH_CHECK(pending_record_ && u == prev_node_)
+        << "RecordSelected out of protocol";
+    prev_proximity_ = proximity;
+    pending_record_ = false;
+  }
+
+  // --- Reference implementation for tests --------------------------------
+
+  // Direct O(|selected|) evaluation of Definition 1. `selected` are the
+  // already-selected nodes with their layers and exact proximities.
+  struct Selected {
+    NodeId node;
+    NodeId layer;
+    Scalar proximity;
+  };
+  static Scalar EstimateDirect(NodeId u, NodeId layer,
+                               const std::vector<Selected>& selected,
+                               Scalar amax,
+                               const std::vector<Scalar>& amax_of_node,
+                               const std::vector<Scalar>& c_prime_of_node);
+
+ private:
+  Scalar amax_;
+  const std::vector<Scalar>* amax_of_node_;
+  const std::vector<Scalar>* c_prime_of_node_;
+
+  bool has_query_ = false;
+  bool prev_is_query_ = false;
+  bool pending_record_ = false;
+  Scalar sum1_ = 0.0, sum2_ = 0.0, sum3_ = 0.0;
+  Scalar root_contribution_ = 0.0;  // Σ_roots p_r · Amax(r)
+  Scalar root_mass_ = 0.0;          // Σ_roots p_r
+  NodeId prev_node_ = kInvalidNode;
+  NodeId prev_layer_ = -1;
+  Scalar prev_proximity_ = 0.0;
+};
+
+// Computes the per-node c′ factors from the diagonal of A:
+// c′(u) = (1-c) / (1 - A(u,u) + c·A(u,u)).
+std::vector<Scalar> ComputeCPrime(const std::vector<Scalar>& a_diagonal,
+                                  Scalar restart_prob);
+
+}  // namespace kdash::core
+
+#endif  // KDASH_CORE_ESTIMATOR_H_

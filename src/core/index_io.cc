@@ -1,0 +1,169 @@
+// Binary persistence of KDashIndex (Save/Load declared in kdash_index.h).
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+#include "core/kdash_index.h"
+
+namespace kdash::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'D', 'S', 'H'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  KDASH_CHECK(in.good()) << "truncated index stream";
+  return value;
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& values) {
+  WritePod(out, static_cast<std::uint64_t>(values.size()));
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+std::vector<T> ReadVector(std::istream& in) {
+  const auto size = ReadPod<std::uint64_t>(in);
+  std::vector<T> values(static_cast<std::size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+    KDASH_CHECK(in.good()) << "truncated index stream";
+  }
+  return values;
+}
+
+void WriteCsc(std::ostream& out, const sparse::CscMatrix& m) {
+  WritePod(out, m.rows());
+  WritePod(out, m.cols());
+  WriteVector(out, m.col_ptr());
+  WriteVector(out, m.row_idx());
+  WriteVector(out, m.values());
+}
+
+sparse::CscMatrix ReadCsc(std::istream& in) {
+  const NodeId rows = ReadPod<NodeId>(in);
+  const NodeId cols = ReadPod<NodeId>(in);
+  auto ptr = ReadVector<Index>(in);
+  auto idx = ReadVector<NodeId>(in);
+  auto vals = ReadVector<Scalar>(in);
+  return sparse::CscMatrix(rows, cols, std::move(ptr), std::move(idx),
+                           std::move(vals));
+}
+
+void WriteCsr(std::ostream& out, const sparse::CsrMatrix& m) {
+  WritePod(out, m.rows());
+  WritePod(out, m.cols());
+  WriteVector(out, m.row_ptr());
+  WriteVector(out, m.col_idx());
+  WriteVector(out, m.values());
+}
+
+sparse::CsrMatrix ReadCsr(std::istream& in) {
+  const NodeId rows = ReadPod<NodeId>(in);
+  const NodeId cols = ReadPod<NodeId>(in);
+  auto ptr = ReadVector<Index>(in);
+  auto idx = ReadVector<NodeId>(in);
+  auto vals = ReadVector<Scalar>(in);
+  return sparse::CsrMatrix(rows, cols, std::move(ptr), std::move(idx),
+                           std::move(vals));
+}
+
+}  // namespace
+
+void KDashIndex::Save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+
+  WritePod(out, options_.restart_prob);
+  WritePod(out, static_cast<std::int32_t>(options_.reorder_method));
+  WritePod(out, options_.seed);
+  WritePod(out, options_.drop_tolerance);
+
+  WritePod(out, num_nodes_);
+  WritePod(out, amax_);
+  WriteVector(out, amax_of_node_);
+  WriteVector(out, c_prime_of_node_);
+  WriteVector(out, new_of_old_);
+  WriteVector(out, old_of_new_);
+  WriteCsc(out, lower_inverse_);
+  WriteCsr(out, upper_inverse_);
+  WriteVector(out, adjacency_ptr_);
+  WriteVector(out, adjacency_);
+
+  WritePod(out, stats_);
+  KDASH_CHECK(out.good()) << "index write failed";
+}
+
+KDashIndex KDashIndex::Load(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  KDASH_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+      << "not a K-dash index stream";
+  const auto version = ReadPod<std::uint32_t>(in);
+  KDASH_CHECK_EQ(version, kVersion);
+
+  KDashIndex index;
+  index.options_.restart_prob = ReadPod<Scalar>(in);
+  index.options_.reorder_method =
+      static_cast<reorder::Method>(ReadPod<std::int32_t>(in));
+  index.options_.seed = ReadPod<std::uint64_t>(in);
+  index.options_.drop_tolerance = ReadPod<Scalar>(in);
+
+  index.num_nodes_ = ReadPod<NodeId>(in);
+  index.amax_ = ReadPod<Scalar>(in);
+  index.amax_of_node_ = ReadVector<Scalar>(in);
+  index.c_prime_of_node_ = ReadVector<Scalar>(in);
+  index.new_of_old_ = ReadVector<NodeId>(in);
+  index.old_of_new_ = ReadVector<NodeId>(in);
+  index.lower_inverse_ = ReadCsc(in);
+  index.upper_inverse_ = ReadCsr(in);
+  index.adjacency_ptr_ = ReadVector<Index>(in);
+  index.adjacency_ = ReadVector<NodeId>(in);
+
+  index.stats_ = ReadPod<PrecomputeStats>(in);
+
+  // Structural sanity before the index is used for queries.
+  const auto n = static_cast<std::size_t>(index.num_nodes_);
+  KDASH_CHECK_EQ(index.amax_of_node_.size(), n);
+  KDASH_CHECK_EQ(index.c_prime_of_node_.size(), n);
+  KDASH_CHECK_EQ(index.new_of_old_.size(), n);
+  KDASH_CHECK_EQ(index.old_of_new_.size(), n);
+  KDASH_CHECK_EQ(index.adjacency_ptr_.size(), n + 1);
+  KDASH_CHECK_EQ(static_cast<std::size_t>(index.lower_inverse_.rows()), n);
+  KDASH_CHECK_EQ(static_cast<std::size_t>(index.upper_inverse_.rows()), n);
+  index.lower_inverse_.Validate();
+  index.upper_inverse_.Validate();
+  return index;
+}
+
+void KDashIndex::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  KDASH_CHECK(out.good()) << "cannot open " << path;
+  Save(out);
+}
+
+KDashIndex KDashIndex::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  KDASH_CHECK(in.good()) << "cannot open " << path;
+  return Load(in);
+}
+
+}  // namespace kdash::core

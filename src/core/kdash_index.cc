@@ -1,0 +1,78 @@
+#include "core/kdash_index.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/estimator.h"
+#include "lu/sparse_lu.h"
+#include "lu/triangular.h"
+#include "sparse/permute.h"
+
+namespace kdash::core {
+
+KDashIndex KDashIndex::Build(const graph::Graph& graph,
+                             const KDashOptions& options) {
+  KDASH_CHECK(graph.num_nodes() > 0);
+  KDASH_CHECK(options.restart_prob > 0.0 && options.restart_prob < 1.0);
+
+  KDashIndex index;
+  index.options_ = options;
+  index.num_nodes_ = graph.num_nodes();
+
+  const WallTimer total_timer;
+
+  // Normalized adjacency and the estimator's precomputed values, all in
+  // original id space (the estimator never sees the reordering).
+  const sparse::CscMatrix a = graph.NormalizedAdjacency();
+  index.amax_ = a.MaxValue();
+  index.amax_of_node_ = a.ColumnMax();
+  index.c_prime_of_node_ = ComputeCPrime(a.Diagonal(), options.restart_prob);
+
+  // Step 1: reorder.
+  WallTimer phase_timer;
+  const reorder::Reordering reordering =
+      reorder::ComputeReordering(graph, options.reorder_method, options.seed);
+  index.new_of_old_ = reordering.new_of_old;
+  index.old_of_new_ = reordering.old_of_new;
+  index.stats_.num_partitions = reordering.num_partitions;
+  index.stats_.reorder_seconds = phase_timer.Seconds();
+
+  // Step 2 + 3: W = I - (1-c)·PAPᵀ, then W = LU.
+  phase_timer.Restart();
+  const sparse::CscMatrix a_perm =
+      sparse::PermuteSymmetric(a, index.new_of_old_);
+  const sparse::CscMatrix w =
+      lu::BuildRwrSystemMatrix(a_perm, options.restart_prob);
+  lu::LuFactors factors = lu::FactorizeLu(w);
+  index.stats_.lu_seconds = phase_timer.Seconds();
+  index.stats_.nnz_lower = factors.lower.nnz();
+  index.stats_.nnz_upper = factors.upper.nnz();
+
+  // Step 4: explicit sparse inverses.
+  phase_timer.Restart();
+  index.lower_inverse_ =
+      lu::InvertLowerTriangular(factors.lower, options.drop_tolerance);
+  const sparse::CscMatrix upper_inverse_csc =
+      lu::InvertUpperTriangular(factors.upper, options.drop_tolerance);
+  index.upper_inverse_ = upper_inverse_csc.ToCsr();
+  index.stats_.inverse_seconds = phase_timer.Seconds();
+  index.stats_.nnz_lower_inverse = index.lower_inverse_.nnz();
+  index.stats_.nnz_upper_inverse = index.upper_inverse_.nnz();
+
+  // Step 5: compact out-adjacency for the per-query BFS.
+  index.adjacency_ptr_.assign(static_cast<std::size_t>(graph.num_nodes()) + 1, 0);
+  index.adjacency_.reserve(static_cast<std::size_t>(graph.num_edges()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
+      index.adjacency_.push_back(nb.node);
+    }
+    index.adjacency_ptr_[static_cast<std::size_t>(u) + 1] =
+        static_cast<Index>(index.adjacency_.size());
+  }
+
+  index.stats_.total_seconds = total_timer.Seconds();
+  return index;
+}
+
+}  // namespace kdash::core

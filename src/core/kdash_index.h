@@ -1,0 +1,116 @@
+// K-dash precomputed index (the "off-line process" of the paper).
+//
+// Build() performs, in order:
+//   1. node reordering (Section 4.2.2; hybrid by default),
+//   2. W = I - (1-c)A in the reordered space,
+//   3. sparse LU factorization W = LU,
+//   4. explicit sparse inverses L⁻¹ (CSC) and U⁻¹ (CSR),
+//   5. the estimator's precomputed values Amax, Amax(u), c′(u)
+//      (Section 4.3.1) in *original* node-id space.
+// The index also keeps an unweighted copy of the out-adjacency for the
+// per-query BFS tree.
+#ifndef KDASH_CORE_KDASH_INDEX_H_
+#define KDASH_CORE_KDASH_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+#include "reorder/reorder.h"
+#include "sparse/csc_matrix.h"
+#include "sparse/csr_matrix.h"
+
+namespace kdash::core {
+
+struct KDashOptions {
+  // Restart probability c. The paper (following Tong et al. and He et al.)
+  // uses 0.95.
+  Scalar restart_prob = 0.95;
+  reorder::Method reorder_method = reorder::Method::kHybrid;
+  std::uint64_t seed = 42;
+  // Drop tolerance for the explicit inverses. 0 = exact (default).
+  // Nonzero values trade a bounded proximity error for sparser inverses;
+  // used only by the ablation benchmark.
+  Scalar drop_tolerance = 0.0;
+};
+
+// Wall-clock breakdown and size accounting of the precompute, reported by
+// the Figure 5 / Figure 6 benchmarks.
+struct PrecomputeStats {
+  double reorder_seconds = 0.0;
+  double lu_seconds = 0.0;
+  double inverse_seconds = 0.0;
+  double total_seconds = 0.0;
+  Index nnz_lower = 0;
+  Index nnz_upper = 0;
+  Index nnz_lower_inverse = 0;
+  Index nnz_upper_inverse = 0;
+  NodeId num_partitions = 0;  // κ for cluster/hybrid, 0 otherwise
+};
+
+class KDashIndex {
+ public:
+  static KDashIndex Build(const graph::Graph& graph,
+                          const KDashOptions& options = {});
+
+  // Persistence. The precompute is the expensive offline step of the paper
+  // (hours at full dataset scale), so indexes can be saved and reloaded.
+  // The format is a versioned native-endian binary dump; Load aborts on a
+  // magic/version mismatch or truncated stream.
+  void Save(std::ostream& out) const;
+  static KDashIndex Load(std::istream& in);
+  void SaveFile(const std::string& path) const;
+  static KDashIndex LoadFile(const std::string& path);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  Scalar restart_prob() const { return options_.restart_prob; }
+  const KDashOptions& options() const { return options_; }
+  const PrecomputeStats& stats() const { return stats_; }
+
+  // Estimator inputs (original node-id space).
+  Scalar amax() const { return amax_; }
+  const std::vector<Scalar>& amax_of_node() const { return amax_of_node_; }
+  const std::vector<Scalar>& c_prime_of_node() const { return c_prime_of_node_; }
+
+  // Permutations between original and reordered space.
+  const std::vector<NodeId>& new_of_old() const { return new_of_old_; }
+  const std::vector<NodeId>& old_of_new() const { return old_of_new_; }
+
+  // Inverse factors in the reordered space.
+  const sparse::CscMatrix& lower_inverse() const { return lower_inverse_; }
+  const sparse::CsrMatrix& upper_inverse() const { return upper_inverse_; }
+
+  // Out-neighbors of `u` (original ids, no weights) for the BFS tree.
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    return {adjacency_.data() + adjacency_ptr_[static_cast<std::size_t>(u)],
+            adjacency_.data() + adjacency_ptr_[static_cast<std::size_t>(u) + 1]};
+  }
+
+ private:
+  KDashIndex() = default;
+
+  KDashOptions options_;
+  NodeId num_nodes_ = 0;
+  PrecomputeStats stats_;
+
+  Scalar amax_ = 0.0;
+  std::vector<Scalar> amax_of_node_;
+  std::vector<Scalar> c_prime_of_node_;
+
+  std::vector<NodeId> new_of_old_;
+  std::vector<NodeId> old_of_new_;
+
+  sparse::CscMatrix lower_inverse_;
+  sparse::CsrMatrix upper_inverse_;
+
+  std::vector<Index> adjacency_ptr_;
+  std::vector<NodeId> adjacency_;
+};
+
+}  // namespace kdash::core
+
+#endif  // KDASH_CORE_KDASH_INDEX_H_

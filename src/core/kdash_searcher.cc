@@ -1,0 +1,157 @@
+#include "core/kdash_searcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kdash::core {
+
+KDashSearcher::KDashSearcher(const KDashIndex* index)
+    : index_(index),
+      estimator_(index->amax(), &index->amax_of_node(),
+                 &index->c_prime_of_node()),
+      y_(static_cast<std::size_t>(index->num_nodes()), 0.0),
+      layer_(static_cast<std::size_t>(index->num_nodes()), kInvalidNode),
+      excluded_(static_cast<std::size_t>(index->num_nodes()), false) {
+  KDASH_CHECK(index != nullptr);
+  order_.reserve(static_cast<std::size_t>(index->num_nodes()));
+}
+
+Scalar KDashSearcher::Proximity(NodeId u) const {
+  const NodeId reordered = index_->new_of_old()[static_cast<std::size_t>(u)];
+  return index_->restart_prob() *
+         index_->upper_inverse().RowDot(reordered, y_);
+}
+
+std::vector<ScoredNode> KDashSearcher::TopK(NodeId query, std::size_t k,
+                                            const SearchOptions& options,
+                                            SearchStats* stats) {
+  KDASH_CHECK(query >= 0 && query < index_->num_nodes());
+  const NodeId root =
+      options.root_override == kInvalidNode ? query : options.root_override;
+  KDASH_CHECK(root >= 0 && root < index_->num_nodes());
+  return Search({query}, /*scatter_weight=*/1.0, {root}, k, options, stats);
+}
+
+std::vector<ScoredNode> KDashSearcher::TopKPersonalized(
+    const std::vector<NodeId>& sources, std::size_t k,
+    const SearchOptions& options, SearchStats* stats) {
+  KDASH_CHECK(!sources.empty());
+  std::vector<NodeId> unique = sources;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (const NodeId s : unique) {
+    KDASH_CHECK(s >= 0 && s < index_->num_nodes()) << "source " << s;
+  }
+  const Scalar weight = 1.0 / static_cast<Scalar>(unique.size());
+  SearchOptions effective = options;
+  effective.root_override = kInvalidNode;  // roots are the sources
+  return Search(unique, weight, unique, k, effective, stats);
+}
+
+std::vector<ScoredNode> KDashSearcher::Search(
+    const std::vector<NodeId>& sources, Scalar scatter_weight,
+    const std::vector<NodeId>& roots, std::size_t k,
+    const SearchOptions& options, SearchStats* stats) {
+  KDASH_CHECK(k > 0);
+
+  // Mark the exclusion set (cleared at the end of the query).
+  excluded_rows_.clear();
+  if (options.exclude != nullptr) {
+    for (const NodeId node : *options.exclude) {
+      KDASH_CHECK(node >= 0 && node < index_->num_nodes())
+          << "excluded node " << node;
+      if (!excluded_[static_cast<std::size_t>(node)]) {
+        excluded_[static_cast<std::size_t>(node)] = true;
+        excluded_rows_.push_back(node);
+      }
+    }
+  }
+
+  // Step 1: y = L⁻¹ q — accumulate the stored sparse columns of the
+  // inverse lower factor, one per source, scaled by the restart weight.
+  const sparse::CscMatrix& linv = index_->lower_inverse();
+  y_rows_.clear();
+  for (const NodeId source : sources) {
+    const NodeId reordered =
+        index_->new_of_old()[static_cast<std::size_t>(source)];
+    const Index col_end = linv.ColEnd(reordered);
+    for (Index t = linv.ColBegin(reordered); t < col_end; ++t) {
+      const NodeId row = linv.RowIndex(t);
+      y_[static_cast<std::size_t>(row)] += scatter_weight * linv.Value(t);
+      y_rows_.push_back(row);  // duplicates are fine; cleared idempotently
+    }
+  }
+
+  // Steps 2–5: lazy breadth-first expansion from the roots interleaved
+  // with the layer-ordered visit. The FIFO discipline makes pop order
+  // equal BFS-layer order, and expanding a node's out-neighbors only when
+  // it is visited means a pruned search never pays for the untouched part
+  // of the graph — per-query cost stays proportional to the visited
+  // neighborhood rather than O(n + m).
+  order_.clear();
+  for (const NodeId root : roots) {
+    layer_[static_cast<std::size_t>(root)] = 0;
+    order_.push_back(root);
+  }
+
+  TopKHeap heap(k);
+  estimator_.Reset();
+  SearchStats local_stats;
+
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const NodeId u = order_[head];
+    ++local_stats.nodes_visited;
+
+    if (head < roots.size()) {
+      // A layer-0 root: p̄ = 1 by Definition 1 — never prunable since θ
+      // starts at 0, scores are ≤ 1, and Algorithm 4 compares strictly.
+      const Scalar proximity = Proximity(u);
+      ++local_stats.proximity_computations;
+      if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+      estimator_.RecordQuery(u, proximity);
+    } else {
+      const NodeId u_layer = layer_[static_cast<std::size_t>(u)];
+      if (options.use_pruning) {
+        const Scalar upper_bound = estimator_.EstimateNext(u, u_layer);
+        if (upper_bound < heap.Threshold()) {
+          // Lemma 2: every remaining node's bound is ≤ this one; terminate.
+          local_stats.terminated_early = true;
+          break;
+        }
+        const Scalar proximity = Proximity(u);
+        ++local_stats.proximity_computations;
+        // Push keeps it only if it beats the current K-th.
+        if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+        estimator_.RecordSelected(u, proximity);
+      } else {
+        const Scalar proximity = Proximity(u);
+        ++local_stats.proximity_computations;
+        if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+      }
+    }
+
+    // Expand: discover u's out-neighbors for the next layer.
+    const NodeId next_layer =
+        static_cast<NodeId>(layer_[static_cast<std::size_t>(u)] + 1);
+    for (const NodeId v : index_->OutNeighbors(u)) {
+      if (layer_[static_cast<std::size_t>(v)] == kInvalidNode) {
+        layer_[static_cast<std::size_t>(v)] = next_layer;
+        order_.push_back(v);
+      }
+    }
+  }
+  local_stats.tree_size = static_cast<NodeId>(order_.size());
+
+  // Clear workspace for the next query.
+  for (const NodeId row : y_rows_) y_[static_cast<std::size_t>(row)] = 0.0;
+  for (const NodeId u : order_) layer_[static_cast<std::size_t>(u)] = kInvalidNode;
+  for (const NodeId node : excluded_rows_) {
+    excluded_[static_cast<std::size_t>(node)] = false;
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return heap.Sorted();
+}
+
+}  // namespace kdash::core

@@ -1,0 +1,223 @@
+#include "datasets/foldoc_case_study.h"
+
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kdash::datasets {
+
+namespace {
+
+// Directed "described-by" edge with a weight expressing how central the
+// target term is to the source term's dictionary entry.
+struct TermEdge {
+  const char* from;
+  const char* to;
+  double weight;
+};
+
+// Curated core mirroring the FOLDOC neighborhoods of Table 2. Edge u→v
+// means v appears in (describes) the definition of u; the random walk from
+// a query term therefore surfaces its describing vocabulary.
+constexpr TermEdge kCuratedEdges[] = {
+    // --- Microsoft ---------------------------------------------------
+    {"Microsoft", "MS-DOS", 5.0},
+    {"Microsoft", "IBM PC", 4.0},
+    {"Microsoft", "Microsoft Windows", 3.5},
+    {"Microsoft", "Microsoft Corporation", 3.0},
+    {"Microsoft", "Bill Gates", 1.5},
+    {"Microsoft", "operating system", 1.0},
+    {"Microsoft Corporation", "Microsoft", 3.0},
+    {"Microsoft Corporation", "software", 1.0},
+    {"MS-DOS", "Microsoft", 2.5},
+    {"MS-DOS", "operating system", 1.5},
+    {"MS-DOS", "IBM PC", 1.5},
+    {"IBM PC", "IBM", 2.0},
+    {"IBM PC", "personal computer", 1.5},
+    {"IBM PC", "MS-DOS", 1.0},
+    {"Bill Gates", "Microsoft", 2.0},
+    {"IBM", "mainframe", 1.0},
+    {"IBM", "personal computer", 1.0},
+
+    // --- Microsoft Windows -------------------------------------------
+    {"Microsoft Windows", "W2K", 4.5},
+    {"Microsoft Windows", "Windows/386", 4.0},
+    {"Microsoft Windows", "Windows 3.0", 3.5},
+    {"Microsoft Windows", "Windows 3.11", 3.2},
+    {"Microsoft Windows", "Microsoft", 1.5},
+    {"Microsoft Windows", "graphical user interface", 1.0},
+    {"W2K", "Microsoft Windows", 2.5},
+    {"W2K", "Windows NT", 1.5},
+    {"Windows/386", "Microsoft Windows", 2.0},
+    {"Windows/386", "Intel 80386", 1.0},
+    {"Windows 3.0", "Microsoft Windows", 2.0},
+    {"Windows 3.0", "graphical user interface", 0.8},
+    {"Windows 3.11", "Microsoft Windows", 2.0},
+    {"Windows 3.11", "Windows 3.0", 1.0},
+    {"Windows NT", "Microsoft Windows", 1.5},
+    {"Windows NT", "operating system", 0.8},
+
+    // --- APPLE ---------------------------------------------------------
+    {"APPLE", "Apple Attachment Unit Interface", 4.5},
+    {"APPLE", "Apple II", 4.0},
+    {"APPLE", "Apple Computer, Inc.", 3.5},
+    {"APPLE", "APPC", 3.0},
+    {"APPLE", "personal computer", 1.0},
+    {"Apple Attachment Unit Interface", "APPLE", 2.0},
+    {"Apple Attachment Unit Interface", "Ethernet", 1.2},
+    {"Apple II", "APPLE", 2.0},
+    {"Apple II", "Steve Wozniak", 1.5},
+    {"Apple II", "personal computer", 1.0},
+    {"Apple Computer, Inc.", "APPLE", 2.5},
+    {"Apple Computer, Inc.", "Macintosh", 1.5},
+    {"APPC", "IBM", 1.0},
+    {"Steve Wozniak", "Apple Computer, Inc.", 1.5},
+
+    // --- Mac OS ----------------------------------------------------------
+    {"Mac OS", "Macintosh user interface", 4.5},
+    {"Mac OS", "Macintosh file system", 4.0},
+    {"Mac OS", "multitasking", 3.5},
+    {"Mac OS", "Macintosh Operating System", 3.2},
+    {"Mac OS", "Apple Computer, Inc.", 1.2},
+    {"Macintosh user interface", "Mac OS", 2.0},
+    {"Macintosh user interface", "graphical user interface", 1.5},
+    {"Macintosh user interface", "Macintosh", 1.0},
+    {"Macintosh file system", "Mac OS", 2.0},
+    {"Macintosh file system", "file system", 1.5},
+    {"Macintosh Operating System", "Mac OS", 2.5},
+    {"Macintosh Operating System", "Macintosh", 1.2},
+    {"Macintosh", "Apple Computer, Inc.", 1.5},
+    {"Macintosh", "graphical user interface", 1.0},
+    {"multitasking", "operating system", 1.2},
+    {"multitasking", "process", 1.0},
+
+    // --- Linux ----------------------------------------------------------
+    {"Linux", "Linux Documentation Project", 4.5},
+    {"Linux", "Unix", 4.0},
+    {"Linux", "lint", 3.5},
+    {"Linux", "Linux Network Administrators' Guide", 3.2},
+    {"Linux", "free software", 1.5},
+    {"Linux", "kernel", 1.2},
+    {"Linux Documentation Project", "Linux", 2.5},
+    {"Linux Documentation Project", "GNU", 1.2},
+    {"Linux Network Administrators' Guide", "Linux", 2.0},
+    {"Linux Network Administrators' Guide", "network", 1.0},
+    {"Unix", "operating system", 1.5},
+    {"Unix", "kernel", 1.0},
+    {"lint", "Unix", 1.5},
+    {"lint", "C", 1.2},
+    {"GNU", "free software", 1.5},
+    {"GNU", "Richard Stallman", 1.0},
+    {"free software", "open source", 1.2},
+    {"kernel", "operating system", 1.5},
+    {"Richard Stallman", "GNU", 1.5},
+
+    // --- shared vocabulary ------------------------------------------------
+    {"operating system", "kernel", 1.0},
+    {"operating system", "process", 0.8},
+    {"operating system", "file system", 0.8},
+    {"personal computer", "microprocessor", 1.0},
+    {"graphical user interface", "window", 1.0},
+    {"graphical user interface", "mouse", 0.8},
+    {"file system", "disk", 1.0},
+    {"software", "program", 1.0},
+    {"program", "C", 0.8},
+    {"C", "programming language", 1.2},
+    {"programming language", "compiler", 1.0},
+    {"compiler", "program", 0.8},
+    {"Ethernet", "network", 1.2},
+    {"network", "protocol", 1.0},
+    {"protocol", "network", 0.8},
+    {"process", "operating system", 0.8},
+    {"window", "graphical user interface", 0.8},
+    {"mouse", "personal computer", 0.6},
+    {"disk", "hardware", 0.8},
+    {"microprocessor", "hardware", 0.8},
+    {"Intel 80386", "microprocessor", 1.0},
+    {"mainframe", "hardware", 0.8},
+    {"hardware", "computer", 1.0},
+    {"computer", "hardware", 0.6},
+    {"open source", "free software", 1.0},
+};
+
+constexpr int kFillerTerms = 400;
+
+}  // namespace
+
+NodeId TermGraph::IdOf(std::string_view name) const {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+std::vector<std::string> CaseStudyQueries() {
+  return {"Microsoft", "APPLE", "Microsoft Windows", "Mac OS", "Linux"};
+}
+
+TermGraph MakeFoldocCaseStudy(std::uint64_t seed) {
+  // Collect the curated vocabulary with stable first-appearance ids.
+  std::vector<std::string> names;
+  std::map<std::string, NodeId> id_of;
+  auto intern = [&](const std::string& name) {
+    const auto [it, inserted] =
+        id_of.try_emplace(name, static_cast<NodeId>(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  };
+  struct RawEdge {
+    NodeId from;
+    NodeId to;
+    double weight;
+  };
+  std::vector<RawEdge> edges;
+  for (const TermEdge& edge : kCuratedEdges) {
+    edges.push_back(RawEdge{intern(edge.from), intern(edge.to), edge.weight});
+  }
+
+  // Filler vocabulary: generic dictionary terms that reference a few
+  // earlier terms each (FOLDOC definitions cite older vocabulary), keeping
+  // the curated core embedded in a realistic sparse background.
+  Rng rng(seed);
+  const NodeId core_size = static_cast<NodeId>(names.size());
+  for (int f = 0; f < kFillerTerms; ++f) {
+    const NodeId u = intern("term-" + std::to_string(f));
+    const int refs = 2 + static_cast<int>(rng.NextBounded(4));
+    for (int r = 0; r < refs; ++r) {
+      // Mostly cite other filler terms; occasionally cite core vocabulary
+      // (weight low enough not to perturb the curated rankings).
+      NodeId v;
+      if (rng.NextDouble() < 0.15) {
+        v = static_cast<NodeId>(rng.NextBounded(core_size));
+      } else {
+        v = static_cast<NodeId>(rng.NextBounded(names.size()));
+      }
+      if (v == u) continue;
+      edges.push_back(RawEdge{u, v, 0.5});
+    }
+  }
+  // A sprinkling of core→filler edges so the curated terms also have
+  // low-relevance out-neighbors to rank below the true answers.
+  for (NodeId u = 0; u < core_size; ++u) {
+    const int refs = 1 + static_cast<int>(rng.NextBounded(2));
+    for (int r = 0; r < refs; ++r) {
+      const NodeId v = static_cast<NodeId>(
+          core_size + rng.NextBounded(static_cast<std::uint64_t>(kFillerTerms)));
+      edges.push_back(RawEdge{u, v, 0.2});
+    }
+  }
+
+  graph::GraphBuilder builder(static_cast<NodeId>(names.size()));
+  for (const RawEdge& edge : edges) {
+    builder.AddEdge(edge.from, edge.to, edge.weight);
+  }
+
+  TermGraph term_graph;
+  term_graph.graph = std::move(builder).Build();
+  term_graph.names = std::move(names);
+  return term_graph;
+}
+
+}  // namespace kdash::datasets

@@ -1,0 +1,39 @@
+// A FOLDOC-like named term graph for the Table 2 case study.
+//
+// The paper's case study queries the FOLDOC dictionary graph (an edge u→v
+// means "term v is used to describe term u") for the top-5 proximity terms
+// of two company names and three operating-system names. FOLDOC itself is a
+// public download we cannot fetch offline, so this module hand-builds a
+// ~500-node term graph whose curated core mirrors the semantic
+// neighborhoods the paper reports (MS-DOS and IBM PC around Microsoft,
+// Apple II around APPLE, the Windows version cluster, the Macintosh
+// cluster, the Linux/GNU cluster), embedded in generated filler vocabulary
+// so the search is non-trivial.
+#ifndef KDASH_DATASETS_FOLDOC_CASE_STUDY_H_
+#define KDASH_DATASETS_FOLDOC_CASE_STUDY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kdash::datasets {
+
+struct TermGraph {
+  graph::Graph graph;
+  std::vector<std::string> names;  // indexed by node id
+
+  // Node id of a term name; kInvalidNode if not present.
+  NodeId IdOf(std::string_view name) const;
+};
+
+// The query terms of Table 2.
+std::vector<std::string> CaseStudyQueries();
+
+TermGraph MakeFoldocCaseStudy(std::uint64_t seed = 42);
+
+}  // namespace kdash::datasets
+
+#endif  // KDASH_DATASETS_FOLDOC_CASE_STUDY_H_

@@ -1,0 +1,196 @@
+#include "graph/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace kdash::graph {
+
+SccResult StronglyConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  SccResult result;
+  result.component_of_node.assign(static_cast<std::size_t>(n), kInvalidNode);
+
+  // Iterative Tarjan. index/lowlink per node; explicit DFS stack of
+  // (node, next-neighbor-offset).
+  constexpr NodeId kUnvisited = -1;
+  std::vector<NodeId> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<NodeId> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> scc_stack;
+  std::vector<std::pair<NodeId, std::size_t>> dfs;
+  NodeId next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != kUnvisited) continue;
+    dfs.emplace_back(root, 0);
+    while (!dfs.empty()) {
+      auto& [u, offset] = dfs.back();
+      if (offset == 0) {
+        index[static_cast<std::size_t>(u)] = next_index;
+        lowlink[static_cast<std::size_t>(u)] = next_index;
+        ++next_index;
+        scc_stack.push_back(u);
+        on_stack[static_cast<std::size_t>(u)] = true;
+      }
+      const auto neighbors = graph.OutNeighbors(u);
+      bool descended = false;
+      while (offset < neighbors.size()) {
+        const NodeId v = neighbors[offset].node;
+        ++offset;
+        if (index[static_cast<std::size_t>(v)] == kUnvisited) {
+          dfs.emplace_back(v, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(v)]) {
+          lowlink[static_cast<std::size_t>(u)] =
+              std::min(lowlink[static_cast<std::size_t>(u)],
+                       index[static_cast<std::size_t>(v)]);
+        }
+      }
+      if (descended) continue;
+
+      // u is finished: close its SCC if it is a root, then propagate the
+      // lowlink to the parent.
+      const NodeId u_done = u;
+      if (lowlink[static_cast<std::size_t>(u_done)] ==
+          index[static_cast<std::size_t>(u_done)]) {
+        NodeId popped;
+        NodeId size = 0;
+        do {
+          popped = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[static_cast<std::size_t>(popped)] = false;
+          result.component_of_node[static_cast<std::size_t>(popped)] =
+              result.num_components;
+          ++size;
+        } while (popped != u_done);
+        result.largest_component_size =
+            std::max(result.largest_component_size, size);
+        ++result.num_components;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        const NodeId parent = dfs.back().first;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(u_done)]);
+      }
+    }
+  }
+  return result;
+}
+
+WccResult WeaklyConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  // Union-find with path halving.
+  auto find = [&](NodeId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.OutNeighbors(u)) {
+      const NodeId a = find(u);
+      const NodeId b = find(nb.node);
+      if (a != b) parent[static_cast<std::size_t>(a)] = b;
+    }
+  }
+
+  WccResult result;
+  result.component_of_node.assign(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<NodeId> dense_id(static_cast<std::size_t>(n), kInvalidNode);
+  std::vector<NodeId> size;
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId root = find(u);
+    NodeId& id = dense_id[static_cast<std::size_t>(root)];
+    if (id == kInvalidNode) {
+      id = result.num_components++;
+      size.push_back(0);
+    }
+    result.component_of_node[static_cast<std::size_t>(u)] = id;
+    ++size[static_cast<std::size_t>(id)];
+  }
+  for (const NodeId s : size) {
+    result.largest_component_size = std::max(result.largest_component_size, s);
+  }
+  return result;
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  // Symmetrized simple adjacency sets.
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : graph.OutNeighbors(u)) {
+      if (nb.node == u) continue;
+      adj[static_cast<std::size_t>(u)].push_back(nb.node);
+      adj[static_cast<std::size_t>(nb.node)].push_back(u);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+
+  // Count closed paths of length 2 and all paths of length 2.
+  long long closed = 0;
+  long long wedges = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& nu = adj[static_cast<std::size_t>(u)];
+    const long long d = static_cast<long long>(nu.size());
+    wedges += d * (d - 1) / 2;
+    for (std::size_t i = 0; i < nu.size(); ++i) {
+      for (std::size_t j = i + 1; j < nu.size(); ++j) {
+        const auto& nv = adj[static_cast<std::size_t>(nu[i])];
+        if (std::binary_search(nv.begin(), nv.end(), nu[j])) ++closed;
+      }
+    }
+  }
+  if (wedges == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+std::vector<Index> DegreeHistogram(const Graph& graph) {
+  Index max_degree = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    max_degree = std::max(max_degree, graph.Degree(u));
+  }
+  std::vector<Index> histogram(static_cast<std::size_t>(max_degree) + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    ++histogram[static_cast<std::size_t>(graph.Degree(u))];
+  }
+  return histogram;
+}
+
+double DegreeDistributionSlope(const Graph& graph, Index min_degree) {
+  const auto histogram = DegreeHistogram(graph);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int count = 0;
+  for (std::size_t d = static_cast<std::size_t>(min_degree);
+       d < histogram.size(); ++d) {
+    if (histogram[d] == 0) continue;
+    const double x = std::log(static_cast<double>(d));
+    const double y = std::log(static_cast<double>(histogram[d]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denom = count * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (count * sxy - sx * sy) / denom;
+}
+
+}  // namespace kdash::graph

@@ -1,0 +1,50 @@
+// Structural graph analysis: connectivity, clustering, degree statistics.
+//
+// Used by the dataset stand-ins (to check they match the paper datasets'
+// structural fingerprints), by the benchmark headers, and by library users
+// who want to sanity-check inputs before indexing.
+#ifndef KDASH_GRAPH_ANALYSIS_H_
+#define KDASH_GRAPH_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kdash::graph {
+
+// Strongly connected components (Tarjan, iterative — safe for deep
+// graphs). Component ids are dense, in reverse topological order of the
+// condensation (a convention Tarjan yields naturally: an SCC's id is
+// assigned when it closes, so edges go from higher ids to lower or within).
+struct SccResult {
+  std::vector<NodeId> component_of_node;
+  NodeId num_components = 0;
+  NodeId largest_component_size = 0;
+};
+SccResult StronglyConnectedComponents(const Graph& graph);
+
+// Weakly connected components (union-find over the symmetrized graph).
+struct WccResult {
+  std::vector<NodeId> component_of_node;
+  NodeId num_components = 0;
+  NodeId largest_component_size = 0;
+};
+WccResult WeaklyConnectedComponents(const Graph& graph);
+
+// Global clustering coefficient (transitivity) of the symmetrized simple
+// graph: 3 × triangles / open wedges. O(Σ deg²) — intended for the
+// laptop-scale graphs of this library.
+double GlobalClusteringCoefficient(const Graph& graph);
+
+// Histogram of total degrees: result[d] = number of nodes with degree d.
+std::vector<Index> DegreeHistogram(const Graph& graph);
+
+// Least-squares slope of log(count) vs log(degree) over the histogram's
+// nonzero buckets with degree ≥ min_degree — a crude power-law exponent
+// estimate (expect ≈ -2..-3 for the scale-free families used here).
+double DegreeDistributionSlope(const Graph& graph, Index min_degree = 2);
+
+}  // namespace kdash::graph
+
+#endif  // KDASH_GRAPH_ANALYSIS_H_

@@ -1,0 +1,36 @@
+#include "graph/bfs.h"
+
+#include "common/check.h"
+
+namespace kdash::graph {
+
+BfsTree BreadthFirstTree(const Graph& graph, NodeId root) {
+  KDASH_CHECK(root >= 0 && root < graph.num_nodes());
+  BfsTree tree;
+  tree.root = root;
+  tree.layer.assign(static_cast<std::size_t>(graph.num_nodes()), kUnreachedLayer);
+  tree.order.reserve(static_cast<std::size_t>(graph.num_nodes()));
+
+  tree.layer[static_cast<std::size_t>(root)] = 0;
+  tree.order.push_back(root);
+  // tree.order doubles as the FIFO queue: head scans it left to right.
+  std::size_t head = 0;
+  while (head < tree.order.size()) {
+    const NodeId u = tree.order[head++];
+    const NodeId next_layer =
+        static_cast<NodeId>(tree.layer[static_cast<std::size_t>(u)] + 1);
+    for (const Neighbor& nb : graph.OutNeighbors(u)) {
+      if (tree.layer[static_cast<std::size_t>(nb.node)] == kUnreachedLayer) {
+        tree.layer[static_cast<std::size_t>(nb.node)] = next_layer;
+        tree.order.push_back(nb.node);
+      }
+    }
+  }
+  tree.num_layers =
+      tree.order.empty()
+          ? 0
+          : static_cast<NodeId>(tree.layer[static_cast<std::size_t>(tree.order.back())] + 1);
+  return tree;
+}
+
+}  // namespace kdash::graph

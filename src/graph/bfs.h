@@ -1,0 +1,35 @@
+// Breadth-first search over out-edges.
+//
+// K-dash's estimator (Section 4.3) visits nodes in ascending BFS-layer order
+// from the query node; the layer array here is exactly the `l(u)` of the
+// paper. Unreached nodes keep layer kUnreachedLayer and proximity 0.
+#ifndef KDASH_GRAPH_BFS_H_
+#define KDASH_GRAPH_BFS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace kdash::graph {
+
+inline constexpr NodeId kUnreachedLayer = -1;
+
+struct BfsTree {
+  NodeId root = kInvalidNode;
+  // Visit order: root first, then layer by layer. Contains only reached
+  // nodes. Within a layer, nodes appear in FIFO discovery order.
+  std::vector<NodeId> order;
+  // layer[u] = hop distance from root following out-edges, or
+  // kUnreachedLayer if u is unreachable.
+  std::vector<NodeId> layer;
+  NodeId num_layers = 0;  // 1 + max layer over reached nodes
+};
+
+// Runs BFS from `root` following out-edges (the direction the random walk
+// travels). O(n + m).
+BfsTree BreadthFirstTree(const Graph& graph, NodeId root);
+
+}  // namespace kdash::graph
+
+#endif  // KDASH_GRAPH_BFS_H_

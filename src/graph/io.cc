@@ -1,0 +1,73 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kdash::graph {
+
+Graph ReadEdgeList(std::istream& in, bool undirected) {
+  std::unordered_map<long long, NodeId> dense_id;
+  std::vector<NodeId> src, dst;
+  std::vector<Scalar> weight;
+  auto densify = [&](long long raw) {
+    const auto [it, inserted] =
+        dense_id.try_emplace(raw, static_cast<NodeId>(dense_id.size()));
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    long long raw_src = 0, raw_dst = 0;
+    if (!(fields >> raw_src)) continue;  // blank/comment line
+    KDASH_CHECK(static_cast<bool>(fields >> raw_dst))
+        << "malformed edge at line " << line_no;
+    double w = 1.0;
+    fields >> w;
+    KDASH_CHECK(w > 0.0) << "non-positive weight at line " << line_no;
+    const NodeId u = densify(raw_src);
+    const NodeId v = densify(raw_dst);
+    src.push_back(u);
+    dst.push_back(v);
+    weight.push_back(w);
+    if (undirected && u != v) {
+      src.push_back(v);
+      dst.push_back(u);
+      weight.push_back(w);
+    }
+  }
+  return Graph(static_cast<NodeId>(dense_id.size()), std::move(src),
+               std::move(dst), std::move(weight));
+}
+
+Graph ReadEdgeListFile(const std::string& path, bool undirected) {
+  std::ifstream in(path);
+  KDASH_CHECK(in.good()) << "cannot open " << path;
+  return ReadEdgeList(in, undirected);
+}
+
+void WriteEdgeList(const Graph& graph, std::ostream& out) {
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const Neighbor& nb : graph.OutNeighbors(u)) {
+      out << u << ' ' << nb.node << ' ' << nb.weight << '\n';
+    }
+  }
+}
+
+void WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  KDASH_CHECK(out.good()) << "cannot open " << path;
+  WriteEdgeList(graph, out);
+  KDASH_CHECK(out.good()) << "write failed for " << path;
+}
+
+}  // namespace kdash::graph

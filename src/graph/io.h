@@ -1,0 +1,31 @@
+// Edge-list text I/O.
+//
+// Format: one `src dst [weight]` triple per line; `#` starts a comment.
+// Node ids are arbitrary non-negative integers and are densified on load.
+// This is the format of the SNAP and Newman datasets the paper uses, so a
+// user with the real files can feed them directly to the library.
+#ifndef KDASH_GRAPH_IO_H_
+#define KDASH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace kdash::graph {
+
+// Parses an edge list from a stream. If `undirected`, every edge is added in
+// both directions. Aborts on malformed lines.
+Graph ReadEdgeList(std::istream& in, bool undirected);
+
+// Convenience file overload.
+Graph ReadEdgeListFile(const std::string& path, bool undirected);
+
+// Writes `graph` as a directed edge list with weights.
+void WriteEdgeList(const Graph& graph, std::ostream& out);
+
+void WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace kdash::graph
+
+#endif  // KDASH_GRAPH_IO_H_

@@ -1,0 +1,63 @@
+#include "linalg/randomized_svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kdash::linalg {
+
+SvdResult RandomizedSvd(const sparse::CscMatrix& a, const SvdOptions& options,
+                        Rng& rng) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  const int rank = std::min(options.rank, n);
+  const int sketch = std::min(rank + options.oversample, n);
+  KDASH_CHECK(rank >= 1);
+
+  // Range finder: Y = A·Ω, optionally refined by power iterations
+  // Y ← A·(Aᵀ·Y) with re-orthonormalization to fight spectral decay loss.
+  DenseMatrix omega(n, sketch);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < sketch; ++j) omega(i, j) = rng.NextGaussian();
+  }
+  DenseMatrix y = SparseDenseMatMul(a, omega);
+  OrthonormalizeColumns(y);
+  for (int it = 0; it < options.power_iterations; ++it) {
+    DenseMatrix z = SparseTransposeDenseMatMul(a, y);
+    OrthonormalizeColumns(z);
+    y = SparseDenseMatMul(a, z);
+    OrthonormalizeColumns(y);
+  }
+  const DenseMatrix& q = y;  // n × sketch, orthonormal columns
+
+  // B = Qᵀ·A computed as (Aᵀ·Q)ᵀ, stored transposed: bt = Aᵀ·Q (n × sketch).
+  const DenseMatrix bt = SparseTransposeDenseMatMul(a, q);
+
+  // Small Gram matrix G = B·Bᵀ = btᵀ·bt (sketch × sketch), eigen-decompose.
+  const DenseMatrix gram = TransposeMatMul(bt, bt);
+  const SymmetricEigen eigen = JacobiEigenSymmetric(gram);
+
+  // Singular values σ = sqrt(λ); left vectors U = Q·E; right vectors
+  // V = Bᵀ·E·Σ⁻¹ = bt·E·Σ⁻¹.
+  SvdResult result;
+  result.singular_values.resize(static_cast<std::size_t>(rank), 0.0);
+  const DenseMatrix u_full = MatMul(q, eigen.eigenvectors);   // n × sketch
+  const DenseMatrix v_full = MatMul(bt, eigen.eigenvectors);  // n × sketch
+
+  result.u = DenseMatrix(n, rank);
+  result.v = DenseMatrix(n, rank);
+  for (int j = 0; j < rank; ++j) {
+    const Scalar lambda = std::max<Scalar>(eigen.eigenvalues[static_cast<std::size_t>(j)], 0.0);
+    const Scalar sigma = std::sqrt(lambda);
+    result.singular_values[static_cast<std::size_t>(j)] = sigma;
+    const Scalar inv_sigma = sigma > 1e-12 ? 1.0 / sigma : 0.0;
+    for (int i = 0; i < n; ++i) {
+      result.u(i, j) = u_full(i, j);
+      result.v(i, j) = v_full(i, j) * inv_sigma;
+    }
+  }
+  return result;
+}
+
+}  // namespace kdash::linalg

@@ -1,0 +1,156 @@
+#include "lu/triangular.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kdash::lu {
+
+void SolveLowerInPlace(const sparse::CscMatrix& lower, std::vector<Scalar>& b) {
+  const NodeId n = lower.cols();
+  KDASH_CHECK_EQ(b.size(), static_cast<std::size_t>(n));
+  for (NodeId j = 0; j < n; ++j) {
+    const Index begin = lower.ColBegin(j);
+    const Index end = lower.ColEnd(j);
+    KDASH_DCHECK(begin < end && lower.RowIndex(begin) == j)
+        << "missing diagonal in lower factor at column " << j;
+    const Scalar xj = b[static_cast<std::size_t>(j)] / lower.Value(begin);
+    b[static_cast<std::size_t>(j)] = xj;
+    if (xj == 0.0) continue;
+    for (Index k = begin + 1; k < end; ++k) {
+      b[static_cast<std::size_t>(lower.RowIndex(k))] -= lower.Value(k) * xj;
+    }
+  }
+}
+
+void SolveUpperInPlace(const sparse::CscMatrix& upper, std::vector<Scalar>& b) {
+  const NodeId n = upper.cols();
+  KDASH_CHECK_EQ(b.size(), static_cast<std::size_t>(n));
+  for (NodeId j = static_cast<NodeId>(n - 1); j >= 0; --j) {
+    const Index begin = upper.ColBegin(j);
+    const Index end = upper.ColEnd(j);
+    KDASH_DCHECK(begin < end && upper.RowIndex(end - 1) == j)
+        << "missing diagonal in upper factor at column " << j;
+    const Scalar xj = b[static_cast<std::size_t>(j)] / upper.Value(end - 1);
+    b[static_cast<std::size_t>(j)] = xj;
+    if (xj == 0.0) continue;
+    for (Index k = begin; k < end - 1; ++k) {
+      b[static_cast<std::size_t>(upper.RowIndex(k))] -= upper.Value(k) * xj;
+    }
+  }
+}
+
+namespace {
+
+// Shared column-by-column inverse builder.
+//
+// For the lower case, column j of L⁻¹ solves L x = e_j; the nonzero pattern
+// is the set of nodes reachable from j in the DAG "k → rows below the
+// diagonal of L(:, k)", and processing discovered nodes in ascending row
+// order is a valid elimination order for a lower triangular matrix (all
+// updates flow strictly downward). The upper case is the mirror image.
+//
+// Entries with |value| <= drop_tolerance are discarded. With
+// drop_tolerance == 0 only exact-zero (cancelled) values are discarded, so
+// the result is the exact inverse.
+class TriangularInverter {
+ public:
+  TriangularInverter(const sparse::CscMatrix& matrix, bool lower,
+                     Scalar drop_tolerance)
+      : m_(matrix), lower_(lower), tol_(drop_tolerance) {
+    KDASH_CHECK_EQ(m_.rows(), m_.cols());
+    KDASH_CHECK(tol_ >= 0.0);
+  }
+
+  sparse::CscMatrix Build() {
+    const NodeId n = m_.rows();
+    std::vector<Index> ptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<NodeId> rows;
+    std::vector<Scalar> vals;
+    // Dense workspace with an occupancy flag per row.
+    std::vector<Scalar> x(static_cast<std::size_t>(n), 0.0);
+    std::vector<bool> occupied(static_cast<std::size_t>(n), false);
+    std::vector<NodeId> pattern;
+
+    // Min-heap worklist keyed in elimination order: ascending rows for the
+    // lower case, descending for the upper case (keys are mirrored so one
+    // min-heap serves both). Every row enters the heap exactly once (guarded
+    // by `occupied`), so a column with p nonzeros costs O(p log p + flops).
+    std::vector<NodeId> heap;
+    const auto heap_key = [this, n](NodeId row) {
+      return lower_ ? row : static_cast<NodeId>(n - 1 - row);
+    };
+    const auto heap_cmp = [](NodeId a, NodeId b) { return a > b; };  // min-heap
+
+    for (NodeId j = 0; j < n; ++j) {
+      pattern.clear();
+      x[static_cast<std::size_t>(j)] = 1.0;
+      occupied[static_cast<std::size_t>(j)] = true;
+      heap.clear();
+      heap.push_back(heap_key(j));
+
+      while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+        const NodeId k = lower_ ? heap.back()
+                                : static_cast<NodeId>(n - 1 - heap.back());
+        heap.pop_back();
+        pattern.push_back(k);
+
+        const Index begin = m_.ColBegin(k);
+        const Index end = m_.ColEnd(k);
+        const Index diag_pos = lower_ ? begin : end - 1;
+        KDASH_DCHECK(m_.RowIndex(diag_pos) == k) << "missing diagonal";
+        const Scalar xk = x[static_cast<std::size_t>(k)] / m_.Value(diag_pos);
+        x[static_cast<std::size_t>(k)] = xk;
+        if (xk == 0.0) continue;
+        const Index lo = lower_ ? begin + 1 : begin;
+        const Index hi = lower_ ? end : end - 1;
+        for (Index t = lo; t < hi; ++t) {
+          const NodeId i = m_.RowIndex(t);
+          x[static_cast<std::size_t>(i)] -= m_.Value(t) * xk;
+          if (!occupied[static_cast<std::size_t>(i)]) {
+            occupied[static_cast<std::size_t>(i)] = true;
+            heap.push_back(heap_key(i));
+            std::push_heap(heap.begin(), heap.end(), heap_cmp);
+          }
+        }
+      }
+
+      // Gather the column (ascending rows), applying the drop tolerance.
+      std::sort(pattern.begin(), pattern.end());
+      for (const NodeId i : pattern) {
+        const Scalar xi = x[static_cast<std::size_t>(i)];
+        x[static_cast<std::size_t>(i)] = 0.0;
+        occupied[static_cast<std::size_t>(i)] = false;
+        if (xi == 0.0) continue;
+        if (tol_ > 0.0 && std::abs(xi) <= tol_ && i != j) continue;
+        rows.push_back(i);
+        vals.push_back(xi);
+      }
+      ptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rows.size());
+    }
+
+    return sparse::CscMatrix(m_.rows(), m_.cols(), std::move(ptr),
+                             std::move(rows), std::move(vals));
+  }
+
+ private:
+  const sparse::CscMatrix& m_;
+  bool lower_;
+  Scalar tol_;
+};
+
+}  // namespace
+
+sparse::CscMatrix InvertLowerTriangular(const sparse::CscMatrix& lower,
+                                        Scalar drop_tolerance) {
+  return TriangularInverter(lower, /*lower=*/true, drop_tolerance).Build();
+}
+
+sparse::CscMatrix InvertUpperTriangular(const sparse::CscMatrix& upper,
+                                        Scalar drop_tolerance) {
+  return TriangularInverter(upper, /*lower=*/false, drop_tolerance).Build();
+}
+
+}  // namespace kdash::lu

@@ -1,0 +1,263 @@
+#include "reorder/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace kdash::reorder {
+
+namespace {
+
+// Undirected weighted working graph for the aggregation levels.
+// For u != v both (u, v) and (v, u) are stored with the same weight; a
+// self-loop (u, u) is stored once and contributes twice to the strength.
+struct WorkGraph {
+  NodeId n = 0;
+  std::vector<std::vector<std::pair<NodeId, double>>> adj;
+  std::vector<double> strength;  // k_u
+  double two_m = 0.0;            // Σ_u k_u
+
+  void FinalizeStrengths() {
+    strength.assign(static_cast<std::size_t>(n), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const auto& [v, w] : adj[static_cast<std::size_t>(u)]) {
+        strength[static_cast<std::size_t>(u)] += (v == u) ? 2.0 * w : w;
+      }
+    }
+    two_m = std::accumulate(strength.begin(), strength.end(), 0.0);
+  }
+};
+
+// Symmetrizes the input graph: w_sym(u, v) = w(u→v) + w(v→u).
+WorkGraph Symmetrize(const graph::Graph& g) {
+  WorkGraph work;
+  work.n = g.num_nodes();
+  work.adj.assign(static_cast<std::size_t>(work.n), {});
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : g.OutNeighbors(u)) {
+      if (nb.node == u) {
+        work.adj[static_cast<std::size_t>(u)].emplace_back(u, nb.weight);
+      } else {
+        // Mirror every directed edge so that after duplicate merging the
+        // symmetric weight is w(u→v) + w(v→u) on both sides.
+        work.adj[static_cast<std::size_t>(u)].emplace_back(nb.node, nb.weight);
+        work.adj[static_cast<std::size_t>(nb.node)].emplace_back(u, nb.weight);
+      }
+    }
+  }
+  // Merge duplicate neighbor entries.
+  for (auto& list : work.adj) {
+    std::sort(list.begin(), list.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (out > 0 && list[out - 1].first == list[i].first) {
+        list[out - 1].second += list[i].second;
+      } else {
+        list[out++] = list[i];
+      }
+    }
+    list.resize(out);
+  }
+  work.FinalizeStrengths();
+  return work;
+}
+
+// One level of Louvain: local moving until no gain. Returns the community
+// labels (dense) and whether anything moved at all.
+struct LevelResult {
+  std::vector<NodeId> community;  // dense labels
+  NodeId num_communities = 0;
+  bool moved = false;
+};
+
+LevelResult LocalMoving(const WorkGraph& work, double min_gain, Rng& rng) {
+  const NodeId n = work.n;
+  std::vector<NodeId> community(static_cast<std::size_t>(n));
+  std::iota(community.begin(), community.end(), 0);
+  std::vector<double> community_strength = work.strength;
+
+  std::vector<NodeId> visit(static_cast<std::size_t>(n));
+  std::iota(visit.begin(), visit.end(), 0);
+  rng.Shuffle(visit);
+
+  // Scratch: weight from the current node to each neighboring community.
+  std::vector<double> weight_to(static_cast<std::size_t>(n), 0.0);
+  std::vector<NodeId> touched;
+  const double two_m = work.two_m;
+  KDASH_CHECK(two_m > 0.0) << "Louvain needs at least one edge";
+
+  bool moved_any = false;
+  bool improved = true;
+  // Each accepted move strictly increases modularity (by more than min_gain),
+  // so the sweep loop terminates; the pass cap is a floating-point backstop.
+  for (int pass = 0; improved && pass < 128; ++pass) {
+    improved = false;
+    for (const NodeId u : visit) {
+      const NodeId old_c = community[static_cast<std::size_t>(u)];
+      touched.clear();
+      for (const auto& [v, w] : work.adj[static_cast<std::size_t>(u)]) {
+        if (v == u) continue;
+        const NodeId c = community[static_cast<std::size_t>(v)];
+        if (weight_to[static_cast<std::size_t>(c)] == 0.0) touched.push_back(c);
+        weight_to[static_cast<std::size_t>(c)] += w;
+      }
+
+      const double k_u = work.strength[static_cast<std::size_t>(u)];
+      // Remove u from its community for the gain comparison.
+      community_strength[static_cast<std::size_t>(old_c)] -= k_u;
+
+      NodeId best_c = old_c;
+      double best_gain = weight_to[static_cast<std::size_t>(old_c)] -
+                         community_strength[static_cast<std::size_t>(old_c)] *
+                             k_u / two_m;
+      for (const NodeId c : touched) {
+        const double gain =
+            weight_to[static_cast<std::size_t>(c)] -
+            community_strength[static_cast<std::size_t>(c)] * k_u / two_m;
+        if (gain > best_gain + min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+
+      community_strength[static_cast<std::size_t>(best_c)] += k_u;
+      if (best_c != old_c) {
+        community[static_cast<std::size_t>(u)] = best_c;
+        improved = true;
+        moved_any = true;
+      }
+      for (const NodeId c : touched) weight_to[static_cast<std::size_t>(c)] = 0.0;
+    }
+  }
+
+  // Densify labels.
+  std::vector<NodeId> dense(static_cast<std::size_t>(n), kInvalidNode);
+  NodeId next = 0;
+  LevelResult result;
+  result.community.resize(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId& slot = dense[static_cast<std::size_t>(community[static_cast<std::size_t>(u)])];
+    if (slot == kInvalidNode) slot = next++;
+    result.community[static_cast<std::size_t>(u)] = slot;
+  }
+  result.num_communities = next;
+  result.moved = moved_any;
+  return result;
+}
+
+// Aggregates communities into super-nodes.
+WorkGraph Aggregate(const WorkGraph& work, const std::vector<NodeId>& community,
+                    NodeId num_communities) {
+  WorkGraph agg;
+  agg.n = num_communities;
+  agg.adj.assign(static_cast<std::size_t>(num_communities), {});
+  for (NodeId u = 0; u < work.n; ++u) {
+    const NodeId cu = community[static_cast<std::size_t>(u)];
+    for (const auto& [v, w] : work.adj[static_cast<std::size_t>(u)]) {
+      const NodeId cv = community[static_cast<std::size_t>(v)];
+      if (v == u) {
+        agg.adj[static_cast<std::size_t>(cu)].emplace_back(cu, w);
+      } else if (cu == cv) {
+        // Each intra edge appears twice (u,v)+(v,u); halve into one
+        // self-loop visit each so the total self-loop weight is w per
+        // unordered pair.
+        agg.adj[static_cast<std::size_t>(cu)].emplace_back(cu, w * 0.5);
+      } else {
+        agg.adj[static_cast<std::size_t>(cu)].emplace_back(cv, w);
+      }
+    }
+  }
+  for (auto& list : agg.adj) {
+    std::sort(list.begin(), list.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (out > 0 && list[out - 1].first == list[i].first) {
+        list[out - 1].second += list[i].second;
+      } else {
+        list[out++] = list[i];
+      }
+    }
+    list.resize(out);
+  }
+  agg.FinalizeStrengths();
+  return agg;
+}
+
+double ModularityOfWork(const WorkGraph& work,
+                        const std::vector<NodeId>& community,
+                        NodeId num_communities) {
+  if (work.two_m <= 0.0) return 0.0;
+  std::vector<double> intra(static_cast<std::size_t>(num_communities), 0.0);
+  std::vector<double> total(static_cast<std::size_t>(num_communities), 0.0);
+  for (NodeId u = 0; u < work.n; ++u) {
+    const NodeId cu = community[static_cast<std::size_t>(u)];
+    total[static_cast<std::size_t>(cu)] += work.strength[static_cast<std::size_t>(u)];
+    for (const auto& [v, w] : work.adj[static_cast<std::size_t>(u)]) {
+      if (v == u) {
+        intra[static_cast<std::size_t>(cu)] += 2.0 * w;
+      } else if (community[static_cast<std::size_t>(v)] == cu) {
+        intra[static_cast<std::size_t>(cu)] += w;  // counted from both sides
+      }
+    }
+  }
+  double q = 0.0;
+  for (NodeId c = 0; c < num_communities; ++c) {
+    const double tot = total[static_cast<std::size_t>(c)] / work.two_m;
+    q += intra[static_cast<std::size_t>(c)] / work.two_m - tot * tot;
+  }
+  return q;
+}
+
+}  // namespace
+
+LouvainResult RunLouvain(const graph::Graph& g, const LouvainOptions& options) {
+  LouvainResult result;
+  result.community_of_node.resize(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(result.community_of_node.begin(), result.community_of_node.end(), 0);
+  result.num_communities = g.num_nodes();
+  if (g.num_edges() == 0) return result;
+
+  Rng rng(options.seed);
+  WorkGraph work = Symmetrize(g);
+  // node → current super-node chain.
+  std::vector<NodeId> membership(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(membership.begin(), membership.end(), 0);
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    LevelResult lr = LocalMoving(work, options.min_modularity_gain, rng);
+    if (!lr.moved) break;
+    result.levels = level + 1;
+    for (auto& m : membership) {
+      m = lr.community[static_cast<std::size_t>(m)];
+    }
+    if (lr.num_communities == work.n) break;  // no compression: converged
+    work = Aggregate(work, lr.community, lr.num_communities);
+  }
+
+  result.community_of_node = membership;
+  result.num_communities = 0;
+  for (const NodeId c : membership) {
+    result.num_communities = std::max<NodeId>(result.num_communities,
+                                              static_cast<NodeId>(c + 1));
+  }
+  result.modularity = Modularity(g, result.community_of_node);
+  return result;
+}
+
+double Modularity(const graph::Graph& g,
+                  const std::vector<NodeId>& community_of_node) {
+  KDASH_CHECK_EQ(community_of_node.size(), static_cast<std::size_t>(g.num_nodes()));
+  NodeId num_communities = 0;
+  for (const NodeId c : community_of_node) {
+    KDASH_CHECK(c >= 0);
+    num_communities = std::max<NodeId>(num_communities, static_cast<NodeId>(c + 1));
+  }
+  const WorkGraph work = Symmetrize(g);
+  return ModularityOfWork(work, community_of_node, num_communities);
+}
+
+}  // namespace kdash::reorder

@@ -1,0 +1,189 @@
+#include "reorder/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "reorder/louvain.h"
+#include "sparse/permute.h"
+
+namespace kdash::reorder {
+
+namespace {
+
+Reordering FromOldOfNew(std::vector<NodeId> old_of_new) {
+  Reordering r;
+  r.old_of_new = std::move(old_of_new);
+  r.new_of_old = sparse::InversePermutation(r.old_of_new);
+  return r;
+}
+
+std::vector<NodeId> AscendingDegreeOrder(const graph::Graph& graph) {
+  std::vector<NodeId> order(static_cast<std::size_t>(graph.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return graph.Degree(a) < graph.Degree(b);
+  });
+  return order;
+}
+
+// Reverse Cuthill–McKee over the symmetrized graph: per weakly-connected
+// component, BFS from a minimum-degree peripheral node with neighbors
+// enqueued in ascending degree order; the concatenated order is reversed.
+// A classic bandwidth-reducing ordering, included as an extra control for
+// the Figure 5/6 ablations.
+std::vector<NodeId> ReverseCuthillMcKeeOrder(const graph::Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  // Symmetrized simple adjacency.
+  std::vector<std::vector<NodeId>> adj(static_cast<std::size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
+      if (nb.node == u) continue;
+      adj[static_cast<std::size_t>(u)].push_back(nb.node);
+      adj[static_cast<std::size_t>(nb.node)].push_back(u);
+    }
+  }
+  for (auto& list : adj) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    // Ascending degree within each neighbor list (ties by id).
+    std::stable_sort(list.begin(), list.end(), [&](NodeId a, NodeId b) {
+      return adj[static_cast<std::size_t>(a)].size() <
+             adj[static_cast<std::size_t>(b)].size();
+    });
+  }
+
+  // Component seeds in ascending degree order.
+  std::vector<NodeId> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    return adj[static_cast<std::size_t>(a)].size() <
+           adj[static_cast<std::size_t>(b)].size();
+  });
+
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (const NodeId seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    visited[static_cast<std::size_t>(seed)] = true;
+    order.push_back(seed);
+    for (std::size_t head = order.size() - 1; head < order.size(); ++head) {
+      for (const NodeId v : adj[static_cast<std::size_t>(order[head])]) {
+        if (!visited[static_cast<std::size_t>(v)]) {
+          visited[static_cast<std::size_t>(v)] = true;
+          order.push_back(v);
+        }
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// Algorithm 2: Louvain partitions; any node incident to a cross-partition
+// edge is re-homed to the border partition κ+1; nodes are then laid out
+// partition by partition with the border last, giving the doubly-bordered
+// block diagonal shape of Figure 1-(2).
+Reordering ClusterImpl(const graph::Graph& graph, std::uint64_t seed,
+                       bool degree_sort_within) {
+  LouvainOptions options;
+  options.seed = seed;
+  const LouvainResult louvain = RunLouvain(graph, options);
+  const NodeId kappa = louvain.num_communities;
+  const NodeId border = kappa;  // label κ used for the (κ+1)-th partition
+
+  std::vector<NodeId> partition = louvain.community_of_node;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const NodeId pu = louvain.community_of_node[static_cast<std::size_t>(u)];
+    bool crosses = false;
+    for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
+      if (louvain.community_of_node[static_cast<std::size_t>(nb.node)] != pu) {
+        crosses = true;
+        break;
+      }
+    }
+    if (!crosses) {
+      for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+        if (louvain.community_of_node[static_cast<std::size_t>(nb.node)] != pu) {
+          crosses = true;
+          break;
+        }
+      }
+    }
+    if (crosses) partition[static_cast<std::size_t>(u)] = border;
+  }
+
+  // Bucket nodes by partition, preserving id order within each bucket.
+  std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(kappa) + 1);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    buckets[static_cast<std::size_t>(partition[static_cast<std::size_t>(u)])]
+        .push_back(u);
+  }
+  if (degree_sort_within) {
+    // Algorithm 3 (hybrid): ascending degree inside every partition,
+    // including the border.
+    for (auto& bucket : buckets) {
+      std::stable_sort(bucket.begin(), bucket.end(), [&](NodeId a, NodeId b) {
+        return graph.Degree(a) < graph.Degree(b);
+      });
+    }
+  }
+
+  std::vector<NodeId> old_of_new;
+  old_of_new.reserve(static_cast<std::size_t>(graph.num_nodes()));
+  for (const auto& bucket : buckets) {
+    old_of_new.insert(old_of_new.end(), bucket.begin(), bucket.end());
+  }
+
+  Reordering r = FromOldOfNew(std::move(old_of_new));
+  r.partition_of_node = std::move(partition);
+  r.num_partitions = kappa;
+  return r;
+}
+
+}  // namespace
+
+std::string MethodName(Method method) {
+  switch (method) {
+    case Method::kIdentity: return "Identity";
+    case Method::kRandom: return "Random";
+    case Method::kDegree: return "Degree";
+    case Method::kCluster: return "Cluster";
+    case Method::kHybrid: return "Hybrid";
+    case Method::kRcm: return "RCM";
+  }
+  return "Unknown";
+}
+
+Reordering ComputeReordering(const graph::Graph& graph, Method method,
+                             std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  switch (method) {
+    case Method::kIdentity: {
+      std::vector<NodeId> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      return FromOldOfNew(std::move(order));
+    }
+    case Method::kRandom: {
+      std::vector<NodeId> order(static_cast<std::size_t>(n));
+      std::iota(order.begin(), order.end(), 0);
+      Rng rng(seed);
+      rng.Shuffle(order);
+      return FromOldOfNew(std::move(order));
+    }
+    case Method::kDegree:
+      return FromOldOfNew(AscendingDegreeOrder(graph));
+    case Method::kCluster:
+      return ClusterImpl(graph, seed, /*degree_sort_within=*/false);
+    case Method::kHybrid:
+      return ClusterImpl(graph, seed, /*degree_sort_within=*/true);
+    case Method::kRcm:
+      return FromOldOfNew(ReverseCuthillMcKeeOrder(graph));
+  }
+  KDASH_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace kdash::reorder

@@ -1,0 +1,57 @@
+#include "rwr/power_iteration.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace kdash::rwr {
+
+PowerIterationResult SolveRwrVector(const sparse::CscMatrix& a,
+                                    const std::vector<Scalar>& restart,
+                                    const PowerIterationOptions& options) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  KDASH_CHECK_EQ(restart.size(), static_cast<std::size_t>(a.cols()));
+  const Scalar c = options.restart_prob;
+  KDASH_CHECK(c > 0.0 && c < 1.0);
+
+  PowerIterationResult result;
+  result.proximity = restart;  // p₀ = q (any start works; this converges fast)
+  std::vector<Scalar> next(restart.size(), 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // next = (1-c) A p + c q
+    a.MultiplyVector(result.proximity, next, 1.0 - c, 0.0);
+    for (std::size_t u = 0; u < restart.size(); ++u) {
+      next[u] += c * restart[u];
+    }
+    Scalar delta = 0.0;
+    for (std::size_t u = 0; u < restart.size(); ++u) {
+      delta += std::abs(next[u] - result.proximity[u]);
+    }
+    result.proximity.swap(next);
+    result.iterations = iter + 1;
+    result.final_delta = delta;
+    if (delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+PowerIterationResult SolveRwr(const sparse::CscMatrix& a, NodeId query,
+                              const PowerIterationOptions& options) {
+  KDASH_CHECK(query >= 0 && query < a.cols());
+  std::vector<Scalar> restart(static_cast<std::size_t>(a.cols()), 0.0);
+  restart[static_cast<std::size_t>(query)] = 1.0;
+  return SolveRwrVector(a, restart, options);
+}
+
+std::vector<ScoredNode> TopKByPowerIteration(
+    const sparse::CscMatrix& a, NodeId query, std::size_t k,
+    const PowerIterationOptions& options) {
+  const PowerIterationResult result = SolveRwr(a, query, options);
+  return TopKOfVector(result.proximity, k);
+}
+
+}  // namespace kdash::rwr

@@ -1,0 +1,49 @@
+// The classical iterative RWR solver (Eq. 1 of the paper).
+//
+// p ← (1-c) A p + c q until convergence. This is the "original iterative
+// algorithm" the paper measures precision against (Section 6.2); we use it
+// as ground truth in the exactness tests and the precision benchmarks.
+#ifndef KDASH_RWR_POWER_ITERATION_H_
+#define KDASH_RWR_POWER_ITERATION_H_
+
+#include <vector>
+
+#include "common/top_k.h"
+#include "common/types.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::rwr {
+
+struct PowerIterationOptions {
+  Scalar restart_prob = 0.95;  // c
+  // Stop when the L1 change between iterations falls below this.
+  Scalar tolerance = 1e-12;
+  int max_iterations = 1000;
+};
+
+struct PowerIterationResult {
+  std::vector<Scalar> proximity;  // p, indexed by node id
+  int iterations = 0;
+  Scalar final_delta = 0.0;  // L1 change of the last iteration
+  bool converged = false;
+};
+
+// Solves Eq. 1 for the unit restart vector e_query.
+// `a` is the column-normalized adjacency matrix.
+PowerIterationResult SolveRwr(const sparse::CscMatrix& a, NodeId query,
+                              const PowerIterationOptions& options = {});
+
+// Solves Eq. 1 for an arbitrary restart distribution (personalized
+// PageRank-style node set); `restart` must sum to 1.
+PowerIterationResult SolveRwrVector(const sparse::CscMatrix& a,
+                                    const std::vector<Scalar>& restart,
+                                    const PowerIterationOptions& options = {});
+
+// Ground-truth top-k: full solve, then rank. Ties broken as in TopKHeap.
+std::vector<ScoredNode> TopKByPowerIteration(
+    const sparse::CscMatrix& a, NodeId query, std::size_t k,
+    const PowerIterationOptions& options = {});
+
+}  // namespace kdash::rwr
+
+#endif  // KDASH_RWR_POWER_ITERATION_H_

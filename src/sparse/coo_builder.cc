@@ -1,0 +1,79 @@
+#include "sparse/coo_builder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace kdash::sparse {
+
+void CooBuilder::Add(NodeId row, NodeId col, Scalar value) {
+  KDASH_CHECK(row >= 0 && row < rows_) << "row " << row;
+  KDASH_CHECK(col >= 0 && col < cols_) << "col " << col;
+  rows_idx_.push_back(row);
+  cols_idx_.push_back(col);
+  values_.push_back(value);
+}
+
+namespace {
+
+struct CompressedArrays {
+  std::vector<Index> ptr;
+  std::vector<NodeId> idx;
+  std::vector<Scalar> values;
+};
+
+// Sorts triplets by (outer, inner), sums duplicates, and compresses into
+// (ptr, idx, values) with ptr indexed by outer.
+CompressedArrays Compress(NodeId outer_count,
+                          const std::vector<NodeId>& outer,
+                          const std::vector<NodeId>& inner,
+                          const std::vector<Scalar>& values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (outer[a] != outer[b]) return outer[a] < outer[b];
+    return inner[a] < inner[b];
+  });
+
+  // Merge duplicates into flat (outer, inner, value) runs.
+  std::vector<NodeId> merged_outer;
+  CompressedArrays out;
+  merged_outer.reserve(values.size());
+  out.idx.reserve(values.size());
+  out.values.reserve(values.size());
+  for (const std::size_t t : order) {
+    if (!merged_outer.empty() && merged_outer.back() == outer[t] &&
+        out.idx.back() == inner[t]) {
+      out.values.back() += values[t];
+    } else {
+      merged_outer.push_back(outer[t]);
+      out.idx.push_back(inner[t]);
+      out.values.push_back(values[t]);
+    }
+  }
+
+  // Count per-outer sizes and prefix-sum into ptr.
+  out.ptr.assign(static_cast<std::size_t>(outer_count) + 1, 0);
+  for (const NodeId o : merged_outer) {
+    ++out.ptr[static_cast<std::size_t>(o) + 1];
+  }
+  for (std::size_t o = 1; o < out.ptr.size(); ++o) {
+    out.ptr[o] += out.ptr[o - 1];
+  }
+  return out;
+}
+
+}  // namespace
+
+CscMatrix CooBuilder::BuildCsc() const {
+  CompressedArrays a = Compress(cols_, cols_idx_, rows_idx_, values_);
+  return CscMatrix(rows_, cols_, std::move(a.ptr), std::move(a.idx),
+                   std::move(a.values));
+}
+
+CsrMatrix CooBuilder::BuildCsr() const {
+  CompressedArrays a = Compress(rows_, rows_idx_, cols_idx_, values_);
+  return CsrMatrix(rows_, cols_, std::move(a.ptr), std::move(a.idx),
+                   std::move(a.values));
+}
+
+}  // namespace kdash::sparse

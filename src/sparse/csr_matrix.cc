@@ -1,0 +1,57 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+
+#include "sparse/csc_matrix.h"
+
+namespace kdash::sparse {
+
+CsrMatrix::CsrMatrix(NodeId rows, NodeId cols, std::vector<Index> row_ptr,
+                     std::vector<NodeId> col_idx, std::vector<Scalar> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  KDASH_CHECK_EQ(row_ptr_.size(), static_cast<std::size_t>(rows_) + 1);
+  KDASH_CHECK_EQ(col_idx_.size(), values_.size());
+#ifndef NDEBUG
+  Validate();
+#endif
+}
+
+Scalar CsrMatrix::At(NodeId row, NodeId col) const {
+  KDASH_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(RowBegin(row));
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(RowEnd(row));
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+CscMatrix CsrMatrix::ToCsc() const {
+  // A CSR matrix is a CSC matrix of the transpose; transposing that CSC
+  // matrix yields the CSC form of the original.
+  const CscMatrix as_csc_of_transpose(cols_, rows_, row_ptr_, col_idx_, values_);
+  return as_csc_of_transpose.Transposed();
+}
+
+void CsrMatrix::Validate() const {
+  KDASH_CHECK_EQ(row_ptr_.size(), static_cast<std::size_t>(rows_) + 1);
+  KDASH_CHECK_EQ(row_ptr_.front(), 0);
+  KDASH_CHECK_EQ(row_ptr_.back(), static_cast<Index>(col_idx_.size()));
+  KDASH_CHECK_EQ(col_idx_.size(), values_.size());
+  for (NodeId row = 0; row < rows_; ++row) {
+    KDASH_CHECK_LE(RowBegin(row), RowEnd(row));
+    for (Index k = RowBegin(row); k < RowEnd(row); ++k) {
+      const NodeId col = ColIndex(k);
+      KDASH_CHECK(col >= 0 && col < cols_) << "col " << col << " out of range";
+      if (k > RowBegin(row)) {
+        KDASH_CHECK_LT(ColIndex(k - 1), col)
+            << "unsorted/duplicate cols in row " << row;
+      }
+    }
+  }
+}
+
+}  // namespace kdash::sparse

@@ -1,0 +1,77 @@
+// Compressed sparse row (CSR) matrix.
+//
+// Used where row access dominates: the explicit inverse U⁻¹ is stored CSR so
+// that a selected node's proximity p(u) = c · U⁻¹(u,:) · y is one sparse row
+// dot product (Section 4.2 of the paper).
+#ifndef KDASH_SPARSE_CSR_MATRIX_H_
+#define KDASH_SPARSE_CSR_MATRIX_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace kdash::sparse {
+
+class CscMatrix;
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  CsrMatrix(NodeId rows, NodeId cols)
+      : rows_(rows), cols_(cols), row_ptr_(static_cast<std::size_t>(rows) + 1, 0) {
+    KDASH_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  // Takes ownership of raw CSR arrays; column indices must be sorted within
+  // each row.
+  CsrMatrix(NodeId rows, NodeId cols, std::vector<Index> row_ptr,
+            std::vector<NodeId> col_idx, std::vector<Scalar> values);
+
+  NodeId rows() const { return rows_; }
+  NodeId cols() const { return cols_; }
+  Index nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  Index RowBegin(NodeId row) const { return row_ptr_[static_cast<std::size_t>(row)]; }
+  Index RowEnd(NodeId row) const { return row_ptr_[static_cast<std::size_t>(row) + 1]; }
+  Index RowNnz(NodeId row) const { return RowEnd(row) - RowBegin(row); }
+
+  NodeId ColIndex(Index k) const { return col_idx_[static_cast<std::size_t>(k)]; }
+  Scalar Value(Index k) const { return values_[static_cast<std::size_t>(k)]; }
+
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<NodeId>& col_idx() const { return col_idx_; }
+  const std::vector<Scalar>& values() const { return values_; }
+
+  // Sparse row · dense vector. `x` must have size cols().
+  Scalar RowDot(NodeId row, const std::vector<Scalar>& x) const {
+    Scalar acc = 0.0;
+    const Index end = RowEnd(row);
+    for (Index k = RowBegin(row); k < end; ++k) {
+      acc += Value(k) * x[static_cast<std::size_t>(ColIndex(k))];
+    }
+    return acc;
+  }
+
+  // O(log nnz(row)) random access; 0 for structural zeros.
+  Scalar At(NodeId row, NodeId col) const;
+
+  // Conversion to the column-major twin. O(nnz + rows + cols).
+  CscMatrix ToCsc() const;
+
+  void Validate() const;
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) = default;
+
+ private:
+  NodeId rows_ = 0;
+  NodeId cols_ = 0;
+  std::vector<Index> row_ptr_;
+  std::vector<NodeId> col_idx_;
+  std::vector<Scalar> values_;
+};
+
+}  // namespace kdash::sparse
+
+#endif  // KDASH_SPARSE_CSR_MATRIX_H_

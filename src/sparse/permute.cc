@@ -1,0 +1,48 @@
+#include "sparse/permute.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sparse/coo_builder.h"
+
+namespace kdash::sparse {
+
+void ValidatePermutation(const std::vector<NodeId>& p) {
+  std::vector<bool> seen(p.size(), false);
+  for (const NodeId v : p) {
+    KDASH_CHECK(v >= 0 && static_cast<std::size_t>(v) < p.size())
+        << "permutation value " << v << " out of range";
+    KDASH_CHECK(!seen[static_cast<std::size_t>(v)])
+        << "duplicate permutation value " << v;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+std::vector<NodeId> InversePermutation(const std::vector<NodeId>& p) {
+  std::vector<NodeId> inv(p.size(), kInvalidNode);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    inv[static_cast<std::size_t>(p[i])] = static_cast<NodeId>(i);
+  }
+  return inv;
+}
+
+CscMatrix PermuteSymmetric(const CscMatrix& a,
+                           const std::vector<NodeId>& new_of_old) {
+  KDASH_CHECK_EQ(a.rows(), a.cols());
+  KDASH_CHECK_EQ(new_of_old.size(), static_cast<std::size_t>(a.cols()));
+  ValidatePermutation(new_of_old);
+
+  CooBuilder builder(a.rows(), a.cols());
+  builder.Reserve(static_cast<std::size_t>(a.nnz()));
+  for (NodeId col = 0; col < a.cols(); ++col) {
+    const NodeId new_col = new_of_old[static_cast<std::size_t>(col)];
+    const Index end = a.ColEnd(col);
+    for (Index k = a.ColBegin(col); k < end; ++k) {
+      const NodeId new_row = new_of_old[static_cast<std::size_t>(a.RowIndex(k))];
+      builder.Add(new_row, new_col, a.Value(k));
+    }
+  }
+  return builder.BuildCsc();
+}
+
+}  // namespace kdash::sparse

@@ -1,0 +1,174 @@
+#include "graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace kdash::graph {
+namespace {
+
+TEST(SccTest, SingleCycleIsOneComponent) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 0);
+  const Graph g = std::move(builder).Build();
+  const SccResult result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 1);
+  EXPECT_EQ(result.largest_component_size, 4);
+}
+
+TEST(SccTest, ChainIsAllSingletons) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  const Graph g = std::move(builder).Build();
+  const SccResult result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 4);
+  EXPECT_EQ(result.largest_component_size, 1);
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);  // bridge, one-way
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 2);
+  const Graph g = std::move(builder).Build();
+  const SccResult result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 3);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(result.largest_component_size, 3);
+  EXPECT_EQ(result.component_of_node[0], result.component_of_node[1]);
+  EXPECT_EQ(result.component_of_node[2], result.component_of_node[3]);
+  EXPECT_EQ(result.component_of_node[2], result.component_of_node[4]);
+  EXPECT_NE(result.component_of_node[0], result.component_of_node[2]);
+}
+
+TEST(SccTest, ComponentIdsReverseTopological) {
+  // Tarjan closes sink components first, so along any edge u→v crossing
+  // components, component(v) < component(u).
+  const Graph g = test::RandomDirectedGraph(200, 500, 44);
+  const SccResult result = StronglyConnectedComponents(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Neighbor& nb : g.OutNeighbors(u)) {
+      if (result.component_of_node[static_cast<std::size_t>(u)] !=
+          result.component_of_node[static_cast<std::size_t>(nb.node)]) {
+        EXPECT_LT(result.component_of_node[static_cast<std::size_t>(nb.node)],
+                  result.component_of_node[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+}
+
+TEST(SccTest, MutualReachabilityDefinesComponents) {
+  // Cross-check against a reachability-based reference on a small graph.
+  const Graph g = test::RandomDirectedGraph(40, 100, 45);
+  const SccResult result = StronglyConnectedComponents(g);
+
+  auto reaches = [&](NodeId from, NodeId to) {
+    std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+    std::vector<NodeId> stack{from};
+    seen[static_cast<std::size_t>(from)] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      if (u == to) return true;
+      for (const Neighbor& nb : g.OutNeighbors(u)) {
+        if (!seen[static_cast<std::size_t>(nb.node)]) {
+          seen[static_cast<std::size_t>(nb.node)] = true;
+          stack.push_back(nb.node);
+        }
+      }
+    }
+    return false;
+  };
+  for (NodeId u = 0; u < g.num_nodes(); u += 5) {
+    for (NodeId v = 0; v < g.num_nodes(); v += 7) {
+      const bool same = result.component_of_node[static_cast<std::size_t>(u)] ==
+                        result.component_of_node[static_cast<std::size_t>(v)];
+      EXPECT_EQ(same, reaches(u, v) && reaches(v, u)) << u << "," << v;
+    }
+  }
+}
+
+TEST(WccTest, IgnoresEdgeDirection) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 1);  // 0,1,2 weakly connected
+  builder.AddEdge(3, 4);
+  const Graph g = std::move(builder).Build();
+  const WccResult result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 2);
+  EXPECT_EQ(result.largest_component_size, 3);
+  EXPECT_EQ(result.component_of_node[0], result.component_of_node[2]);
+}
+
+TEST(WccTest, BarabasiAlbertIsConnected) {
+  Rng rng(46);
+  const Graph g = BarabasiAlbert(500, 2, rng);
+  const WccResult result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 1);
+  EXPECT_EQ(result.largest_component_size, 500);
+}
+
+TEST(ClusteringTest, TriangleIsOne) {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 1);
+  builder.AddUndirectedEdge(1, 2);
+  builder.AddUndirectedEdge(2, 0);
+  const Graph g = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+}
+
+TEST(ClusteringTest, StarIsZero) {
+  GraphBuilder builder(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) builder.AddUndirectedEdge(0, leaf);
+  const Graph g = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(ClusteringTest, TriadFormationRaisesClustering) {
+  Rng rng_a(47), rng_b(47);
+  const Graph plain = BarabasiAlbert(600, 3, rng_a);
+  const Graph clustered =
+      PowerLawCluster(600, 3, /*triad_prob=*/0.8, false, 0.0, rng_b);
+  EXPECT_GT(GlobalClusteringCoefficient(clustered),
+            1.5 * GlobalClusteringCoefficient(plain));
+}
+
+TEST(DegreeTest, HistogramSumsToN) {
+  const Graph g = test::RandomDirectedGraph(150, 700, 48);
+  const auto histogram = DegreeHistogram(g);
+  Index total = 0;
+  for (const Index count : histogram) total += count;
+  EXPECT_EQ(total, 150);
+}
+
+TEST(DegreeTest, PowerLawSlopeIsNegativeForScaleFree) {
+  Rng rng(49);
+  const Graph g = BarabasiAlbert(3000, 2, rng);
+  const double slope = DegreeDistributionSlope(g, 4);
+  EXPECT_LT(slope, -1.0);   // heavy-tailed decay
+  EXPECT_GT(slope, -4.5);   // but not super-exponential
+}
+
+TEST(DegreeTest, RegularGraphSlopeDegenerate) {
+  // A ring: every node has degree 2 — fewer than two histogram points.
+  GraphBuilder builder(20);
+  for (NodeId u = 0; u < 20; ++u) {
+    builder.AddUndirectedEdge(u, static_cast<NodeId>((u + 1) % 20));
+  }
+  const Graph g = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(DegreeDistributionSlope(g, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace kdash::graph

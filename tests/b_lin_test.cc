@@ -1,0 +1,99 @@
+#include "baselines/b_lin.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::baselines {
+namespace {
+
+TEST(BLinTest, NearExactWhenRankCoversCrossEdges) {
+  // With a rank that dominates the cross-partition matrix's rank, B_LIN is
+  // near exact: W₁ is handled exactly and the SVD captures all of A₂.
+  Rng rng(51);
+  const auto g = graph::PlantedPartition(120, 4, 8.0, 0.5, false, rng);
+  BLinOptions options;
+  options.restart_prob = 0.9;
+  options.target_rank = 120;
+  const BLin b_lin(g, options);
+
+  rwr::PowerIterationOptions pi;
+  pi.restart_prob = 0.9;
+  const auto truth = rwr::SolveRwr(g.NormalizedAdjacency(), 10, pi);
+  const auto approx = b_lin.Solve(10);
+  for (std::size_t u = 0; u < approx.size(); ++u) {
+    EXPECT_NEAR(approx[u], truth.proximity[u], 1e-6) << "u=" << u;
+  }
+}
+
+TEST(BLinTest, ExactWithinIsolatedPartitionEvenAtRankOne) {
+  // Two disconnected communities: A₂ is empty, so B_LIN is exact at any
+  // rank — the within-partition part is inverted exactly.
+  graph::GraphBuilder builder(8);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 4; ++b) {
+      builder.AddUndirectedEdge(a, b);
+      builder.AddUndirectedEdge(static_cast<NodeId>(a + 4),
+                                static_cast<NodeId>(b + 4));
+    }
+  }
+  const auto g = std::move(builder).Build();
+  BLinOptions options;
+  options.target_rank = 1;
+  const BLin b_lin(g, options);
+  const auto truth = rwr::SolveRwr(g.NormalizedAdjacency(), 0, {});
+  const auto approx = b_lin.Solve(0);
+  for (std::size_t u = 0; u < approx.size(); ++u) {
+    EXPECT_NEAR(approx[u], truth.proximity[u], 1e-9);
+  }
+}
+
+TEST(BLinTest, ReportsPartitionCount) {
+  Rng rng(52);
+  const auto g = graph::PlantedPartition(200, 5, 9.0, 0.4, false, rng);
+  BLinOptions options;
+  options.target_rank = 20;
+  const BLin b_lin(g, options);
+  EXPECT_GE(b_lin.num_partitions(), 2);
+}
+
+TEST(BLinTest, ApproximationImprovesWithRank) {
+  Rng rng(53);
+  const auto g = graph::PlantedPartition(150, 5, 7.0, 2.0, false, rng);
+  const auto a = g.NormalizedAdjacency();
+  const auto truth = rwr::SolveRwr(a, 33, {});
+
+  auto l1_error = [&](int rank) {
+    BLinOptions options;
+    options.target_rank = rank;
+    const BLin b_lin(g, options);
+    const auto approx = b_lin.Solve(33);
+    Scalar err = 0.0;
+    for (std::size_t u = 0; u < approx.size(); ++u) {
+      err += std::abs(approx[u] - truth.proximity[u]);
+    }
+    return err;
+  };
+  const Scalar coarse = l1_error(2);
+  const Scalar fine = l1_error(150);  // full rank: randomized SVD is exact
+  EXPECT_LT(fine, coarse + 1e-12);
+  EXPECT_LT(fine, 1e-5);
+}
+
+TEST(BLinTest, QueryKeepsRestartMass) {
+  Rng rng(54);
+  const auto g = graph::PlantedPartition(100, 4, 6.0, 1.0, false, rng);
+  BLinOptions options;
+  options.target_rank = 10;
+  const BLin b_lin(g, options);
+  const auto top = b_lin.TopK(17, 5);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].node, 17);
+  EXPECT_GE(top[0].score, 0.9);
+}
+
+}  // namespace
+}  // namespace kdash::baselines

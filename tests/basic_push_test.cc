@@ -1,0 +1,128 @@
+#include "baselines/basic_push.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::baselines {
+namespace {
+
+// Recall of the true top-k within the returned answer set: the guarantee
+// BPA provides (always 1).
+double RecallOfTruth(const std::vector<ScoredNode>& answer,
+                     const std::vector<ScoredNode>& truth, std::size_t k) {
+  std::set<NodeId> answer_set;
+  for (const auto& entry : answer) answer_set.insert(entry.node);
+  std::size_t hits = 0;
+  std::size_t considered = 0;
+  for (std::size_t i = 0; i < truth.size() && considered < k; ++i) {
+    if (truth[i].score <= 1e-13) break;  // unreachable tail
+    ++considered;
+    hits += answer_set.count(truth[i].node);
+  }
+  return considered == 0
+             ? 1.0
+             : static_cast<double>(hits) / static_cast<double>(considered);
+}
+
+TEST(BasicPushTest, RecallIsOneAcrossQueries) {
+  const auto g = test::RandomDirectedGraph(200, 1200, 61);
+  const auto a = g.NormalizedAdjacency();
+  BasicPushOptions options;
+  options.num_hubs = 20;
+  const BasicPush bpa(a, options);
+  for (const NodeId q : {0, 17, 58, 120, 199}) {
+    const auto answer = bpa.TopK(q, 5);
+    const auto truth = rwr::TopKByPowerIteration(a, q, 5, {});
+    EXPECT_DOUBLE_EQ(RecallOfTruth(answer, truth, 5), 1.0) << "q=" << q;
+  }
+}
+
+TEST(BasicPushTest, HubQueryIsExactImmediately) {
+  const auto g = test::RandomDirectedGraph(150, 900, 62);
+  const auto a = g.NormalizedAdjacency();
+  BasicPushOptions options;
+  options.num_hubs = 150;  // every node is a hub
+  const BasicPush bpa(a, options);
+  BasicPushStats stats;
+  const auto answer = bpa.TopK(33, 5, &stats);
+  EXPECT_EQ(stats.pushes, 0);       // no pushes needed
+  EXPECT_EQ(stats.hub_folds, 1);    // one exact fold
+  EXPECT_NEAR(stats.final_residual, 0.0, 1e-12);
+
+  const auto truth = rwr::TopKByPowerIteration(a, 33, 5, {});
+  ASSERT_GE(answer.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(answer[i].node, truth[i].node) << "rank " << i;
+    EXPECT_NEAR(answer[i].score, truth[i].score, 1e-9);
+  }
+}
+
+TEST(BasicPushTest, AnswerSetCanExceedK) {
+  // The paper notes BPA "can return more than K nodes"; engineer a near-tie
+  // so the bounds overlap.
+  graph::GraphBuilder builder(10);
+  for (NodeId v = 1; v < 10; ++v) builder.AddEdge(0, v);  // 9 equal children
+  builder.AddEdge(1, 0);
+  const auto g = std::move(builder).Build();
+  BasicPushOptions options;
+  options.num_hubs = 0;
+  options.residual_floor = 1e-4;  // stop early, bounds stay loose
+  const BasicPush bpa(g.NormalizedAdjacency(), options);
+  BasicPushStats stats;
+  const auto answer = bpa.TopK(0, 3, &stats);
+  EXPECT_GT(answer.size(), 3u);
+  EXPECT_EQ(stats.answer_size, answer.size());
+}
+
+TEST(BasicPushTest, MoreHubsFewerPushes) {
+  const auto g = test::RandomDirectedGraph(300, 2100, 63);
+  const auto a = g.NormalizedAdjacency();
+  BasicPushOptions few, many;
+  few.num_hubs = 0;
+  many.num_hubs = 100;
+  const BasicPush bpa_few(a, few);
+  const BasicPush bpa_many(a, many);
+  Index pushes_few = 0, pushes_many = 0;
+  for (const NodeId q : {3, 77, 150}) {
+    BasicPushStats stats;
+    bpa_few.TopK(q, 5, &stats);
+    pushes_few += stats.pushes;
+    bpa_many.TopK(q, 5, &stats);
+    pushes_many += stats.pushes;
+  }
+  EXPECT_LT(pushes_many, pushes_few);
+}
+
+TEST(BasicPushTest, EstimatesLowerBoundTruth) {
+  const auto g = test::RandomDirectedGraph(120, 700, 64);
+  const auto a = g.NormalizedAdjacency();
+  BasicPushOptions options;
+  options.num_hubs = 10;
+  const BasicPush bpa(a, options);
+  const auto answer = bpa.TopK(8, 5);
+  const auto truth = rwr::SolveRwr(a, 8, {});
+  for (const auto& entry : answer) {
+    EXPECT_LE(entry.score,
+              truth.proximity[static_cast<std::size_t>(entry.node)] + 1e-9)
+        << "node " << entry.node;
+  }
+}
+
+TEST(BasicPushTest, ResultsSorted) {
+  const auto g = test::RandomDirectedGraph(80, 500, 65);
+  BasicPushOptions options;
+  options.num_hubs = 5;
+  const BasicPush bpa(g.NormalizedAdjacency(), options);
+  const auto answer = bpa.TopK(4, 5);
+  for (std::size_t i = 1; i < answer.size(); ++i) {
+    EXPECT_LE(answer[i].score, answer[i - 1].score);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::baselines

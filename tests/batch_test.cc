@@ -1,0 +1,80 @@
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace kdash::core {
+namespace {
+
+TEST(BatchTest, MatchesSequentialSearcher) {
+  const auto g = test::RandomDirectedGraph(200, 1200, 61);
+  const auto index = KDashIndex::Build(g, {});
+
+  Rng rng(5);
+  std::vector<NodeId> queries;
+  for (int i = 0; i < 64; ++i) queries.push_back(rng.NextNode(200));
+
+  const auto batch = TopKBatch(index, queries, 5, {}, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+
+  KDashSearcher searcher(&index);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i].query, queries[i]);
+    const auto reference = searcher.TopK(queries[i], 5);
+    ASSERT_EQ(batch[i].top.size(), reference.size()) << "i=" << i;
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(batch[i].top[r].node, reference[r].node);
+      EXPECT_DOUBLE_EQ(batch[i].top[r].score, reference[r].score);
+    }
+  }
+}
+
+TEST(BatchTest, EmptyBatch) {
+  const auto g = test::SmallDirectedGraph();
+  const auto index = KDashIndex::Build(g, {});
+  const auto batch = TopKBatch(index, {}, 5);
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(BatchTest, SingleThreadAndManyThreadsAgree) {
+  const auto g = test::RandomDirectedGraph(150, 900, 62);
+  const auto index = KDashIndex::Build(g, {});
+  std::vector<NodeId> queries;
+  for (NodeId q = 0; q < 150; q += 3) queries.push_back(q);
+
+  const auto one = TopKBatch(index, queries, 7, {}, 1);
+  const auto many = TopKBatch(index, queries, 7, {}, 8);
+  ASSERT_EQ(one.size(), many.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    ASSERT_EQ(one[i].top.size(), many[i].top.size());
+    for (std::size_t r = 0; r < one[i].top.size(); ++r) {
+      EXPECT_EQ(one[i].top[r].node, many[i].top[r].node);
+      EXPECT_DOUBLE_EQ(one[i].top[r].score, many[i].top[r].score);
+    }
+  }
+}
+
+TEST(BatchTest, StatsReportedPerQuery) {
+  const auto g = test::RandomDirectedGraph(300, 1800, 63);
+  const auto index = KDashIndex::Build(g, {});
+  const std::vector<NodeId> queries{1, 2, 3, 4};
+  const auto batch = TopKBatch(index, queries, 5, {}, 2);
+  for (const auto& result : batch) {
+    EXPECT_GT(result.stats.proximity_computations, 0);
+    EXPECT_GE(result.stats.nodes_visited, result.stats.proximity_computations);
+  }
+}
+
+TEST(BatchTest, MoreThreadsThanQueries) {
+  const auto g = test::SmallDirectedGraph();
+  const auto index = KDashIndex::Build(g, {});
+  const auto batch = TopKBatch(index, {0, 1}, 3, {}, 16);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].top[0].node, 0);
+  EXPECT_EQ(batch[1].top[0].node, 1);
+}
+
+}  // namespace
+}  // namespace kdash::core

@@ -1,0 +1,88 @@
+#include "graph/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace kdash::graph {
+namespace {
+
+TEST(BfsTest, LayersOfSmallGraph) {
+  const Graph g = test::SmallDirectedGraph();
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  EXPECT_EQ(tree.root, 0);
+  EXPECT_EQ(tree.layer[0], 0);
+  EXPECT_EQ(tree.layer[1], 1);
+  EXPECT_EQ(tree.layer[2], 1);
+  EXPECT_EQ(tree.layer[3], 2);
+  EXPECT_EQ(tree.layer[4], 3);
+  EXPECT_EQ(tree.num_layers, 4);
+}
+
+TEST(BfsTest, Figure8Layers) {
+  // Matches the paper's appendix example: u2,u3 on layer 1; u4,u5 on
+  // layer 2; u6,u7 on layer 3.
+  const Graph g = test::Figure8Graph();
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  EXPECT_EQ(tree.layer[1], 1);
+  EXPECT_EQ(tree.layer[2], 1);
+  EXPECT_EQ(tree.layer[3], 2);
+  EXPECT_EQ(tree.layer[4], 2);
+  EXPECT_EQ(tree.layer[5], 3);
+  EXPECT_EQ(tree.layer[6], 3);
+}
+
+TEST(BfsTest, OrderIsLayerMonotone) {
+  const Graph g = test::RandomDirectedGraph(200, 600, 8);
+  const BfsTree tree = BreadthFirstTree(g, 5);
+  for (std::size_t i = 1; i < tree.order.size(); ++i) {
+    EXPECT_GE(tree.layer[static_cast<std::size_t>(tree.order[i])],
+              tree.layer[static_cast<std::size_t>(tree.order[i - 1])]);
+  }
+}
+
+TEST(BfsTest, UnreachableNodesMarked) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);  // separate component
+  const Graph g = std::move(builder).Build();
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  EXPECT_EQ(tree.order.size(), 2u);
+  EXPECT_EQ(tree.layer[2], kUnreachedLayer);
+  EXPECT_EQ(tree.layer[3], kUnreachedLayer);
+}
+
+TEST(BfsTest, EdgeLayerInvariant) {
+  // For every edge u→v of reached nodes: layer(v) ≤ layer(u) + 1 — the
+  // property Lemma 1's proof depends on.
+  const Graph g = test::RandomDirectedGraph(300, 1500, 9);
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  for (const NodeId u : tree.order) {
+    for (const Neighbor& nb : g.OutNeighbors(u)) {
+      ASSERT_NE(tree.layer[static_cast<std::size_t>(nb.node)], kUnreachedLayer);
+      EXPECT_LE(tree.layer[static_cast<std::size_t>(nb.node)],
+                tree.layer[static_cast<std::size_t>(u)] + 1);
+    }
+  }
+}
+
+TEST(BfsTest, SingleNodeGraph) {
+  GraphBuilder builder(1);
+  const Graph g = std::move(builder).Build();
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  EXPECT_EQ(tree.order.size(), 1u);
+  EXPECT_EQ(tree.num_layers, 1);
+}
+
+TEST(BfsTest, DirectionalityFollowsOutEdges) {
+  GraphBuilder builder(3);
+  builder.AddEdge(1, 0);  // edge INTO the root must not be traversed
+  builder.AddEdge(0, 2);
+  const Graph g = std::move(builder).Build();
+  const BfsTree tree = BreadthFirstTree(g, 0);
+  EXPECT_EQ(tree.layer[1], kUnreachedLayer);
+  EXPECT_EQ(tree.layer[2], 1);
+}
+
+}  // namespace
+}  // namespace kdash::graph

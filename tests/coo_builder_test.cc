@@ -1,0 +1,88 @@
+#include "sparse/coo_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace kdash::sparse {
+namespace {
+
+TEST(CooBuilderTest, EmptyBuild) {
+  CooBuilder builder(3, 3);
+  const CscMatrix m = builder.BuildCsc();
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_EQ(m.rows(), 3);
+  m.Validate();
+}
+
+TEST(CooBuilderTest, DuplicatesAreSummed) {
+  CooBuilder builder(2, 2);
+  builder.Add(0, 1, 1.5);
+  builder.Add(0, 1, 2.5);
+  builder.Add(1, 0, 1.0);
+  const CscMatrix m = builder.BuildCsc();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 1.0);
+}
+
+TEST(CooBuilderTest, DuplicatesSummedInCsrToo) {
+  CooBuilder builder(2, 2);
+  builder.Add(1, 1, 1.0);
+  builder.Add(1, 1, -0.5);
+  const CsrMatrix m = builder.BuildCsr();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.5);
+}
+
+TEST(CooBuilderTest, ColumnsSortedWithinEachColumn) {
+  CooBuilder builder(5, 2);
+  builder.Add(4, 0, 1.0);
+  builder.Add(0, 0, 1.0);
+  builder.Add(2, 0, 1.0);
+  builder.Add(3, 1, 1.0);
+  builder.Add(1, 1, 1.0);
+  const CscMatrix m = builder.BuildCsc();
+  m.Validate();  // enforces sorted rows per column
+  EXPECT_EQ(m.RowIndex(m.ColBegin(0)), 0);
+  EXPECT_EQ(m.RowIndex(m.ColBegin(0) + 1), 2);
+  EXPECT_EQ(m.RowIndex(m.ColBegin(0) + 2), 4);
+}
+
+TEST(CooBuilderTest, EmptyColumnsInMiddle) {
+  CooBuilder builder(3, 5);
+  builder.Add(0, 0, 1.0);
+  builder.Add(2, 4, 1.0);
+  const CscMatrix m = builder.BuildCsc();
+  m.Validate();
+  EXPECT_EQ(m.ColNnz(0), 1);
+  EXPECT_EQ(m.ColNnz(1), 0);
+  EXPECT_EQ(m.ColNnz(2), 0);
+  EXPECT_EQ(m.ColNnz(3), 0);
+  EXPECT_EQ(m.ColNnz(4), 1);
+}
+
+TEST(CooBuilderTest, RandomizedCscCsrConsistency) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const NodeId rows = static_cast<NodeId>(1 + rng.NextBounded(12));
+    const NodeId cols = static_cast<NodeId>(1 + rng.NextBounded(12));
+    CooBuilder builder(rows, cols);
+    const int adds = static_cast<int>(rng.NextBounded(50));
+    for (int e = 0; e < adds; ++e) {
+      // Dyadic weights keep duplicate summation exact regardless of the
+      // order the two builds visit triplets in.
+      builder.Add(rng.NextNode(rows), rng.NextNode(cols),
+                  0.125 * static_cast<Scalar>(rng.NextInt(-40, 40)));
+    }
+    const CscMatrix csc = builder.BuildCsc();
+    const CsrMatrix csr = builder.BuildCsr();
+    csc.Validate();
+    csr.Validate();
+    EXPECT_EQ(csc.nnz(), csr.nnz());
+    EXPECT_EQ(csr.ToCsc(), csc);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::sparse

@@ -1,0 +1,81 @@
+#include "sparse/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "sparse/coo_builder.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::sparse {
+namespace {
+
+CsrMatrix Example() {
+  CooBuilder builder(3, 4);
+  builder.Add(0, 0, 1.0);
+  builder.Add(0, 3, 2.0);
+  builder.Add(1, 1, 3.0);
+  builder.Add(2, 0, 4.0);
+  builder.Add(2, 2, 5.0);
+  return builder.BuildCsr();
+}
+
+TEST(CsrMatrixTest, Shape) {
+  const CsrMatrix m = Example();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 5);
+  m.Validate();
+}
+
+TEST(CsrMatrixTest, RowAccess) {
+  const CsrMatrix m = Example();
+  EXPECT_EQ(m.RowNnz(0), 2);
+  EXPECT_EQ(m.RowNnz(1), 1);
+  EXPECT_EQ(m.RowNnz(2), 2);
+  EXPECT_EQ(m.ColIndex(m.RowBegin(0)), 0);
+  EXPECT_EQ(m.ColIndex(m.RowBegin(0) + 1), 3);
+}
+
+TEST(CsrMatrixTest, At) {
+  const CsrMatrix m = Example();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(CsrMatrixTest, RowDot) {
+  const CsrMatrix m = Example();
+  const std::vector<Scalar> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.RowDot(0, x), 1.0 * 1 + 2.0 * 4);
+  EXPECT_DOUBLE_EQ(m.RowDot(1, x), 3.0 * 2);
+  EXPECT_DOUBLE_EQ(m.RowDot(2, x), 4.0 * 1 + 5.0 * 3);
+}
+
+TEST(CsrMatrixTest, CscRoundTrip) {
+  const CsrMatrix m = Example();
+  const CsrMatrix round = m.ToCsc().ToCsr();
+  EXPECT_EQ(m, round);
+}
+
+TEST(CsrMatrixTest, CsrAndCscAgreeEntrywise) {
+  Rng rng(3);
+  CooBuilder builder(20, 20);
+  for (int e = 0; e < 60; ++e) {
+    builder.Add(rng.NextNode(20), rng.NextNode(20), rng.NextDouble());
+  }
+  const CsrMatrix csr = builder.BuildCsr();
+  const CscMatrix csc = builder.BuildCsc();
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(csr.At(i, j), csc.At(i, j)) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdash::sparse

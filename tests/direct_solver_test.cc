@@ -1,0 +1,65 @@
+#include "rwr/direct_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::rwr {
+namespace {
+
+class DirectSolverAgreementTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DirectSolverAgreementTest, MatchesPowerIteration) {
+  const Scalar c = GetParam();
+  const auto g = test::RandomDirectedGraph(80, 500, 12);
+  const auto a = g.NormalizedAdjacency();
+  const DirectRwrSolver solver(a, c);
+  PowerIterationOptions options;
+  options.restart_prob = c;
+  options.tolerance = 1e-14;
+  options.max_iterations = 5000;
+  for (const NodeId query : {0, 17, 42, 79}) {
+    const auto direct = solver.Solve(query);
+    const auto iterative = SolveRwr(a, query, options);
+    ASSERT_TRUE(iterative.converged);
+    for (std::size_t u = 0; u < direct.size(); ++u) {
+      EXPECT_NEAR(direct[u], iterative.proximity[u], 1e-9)
+          << "c=" << c << " q=" << query << " u=" << u;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartSweep, DirectSolverAgreementTest,
+                         ::testing::Values(0.3, 0.5, 0.8, 0.95, 0.99));
+
+TEST(DirectSolverTest, QueryMassAtLeastRestart) {
+  const auto g = test::RandomDirectedGraph(40, 200, 13);
+  const DirectRwrSolver solver(g.NormalizedAdjacency(), 0.95);
+  for (NodeId q = 0; q < 40; q += 7) {
+    const auto p = solver.Solve(q);
+    EXPECT_GE(p[static_cast<std::size_t>(q)], 0.95 - 1e-12);
+  }
+}
+
+TEST(DirectSolverTest, ProximitiesNonNegative) {
+  const auto g = test::RandomDirectedGraph(60, 250, 14);
+  const DirectRwrSolver solver(g.NormalizedAdjacency(), 0.9);
+  const auto p = solver.Solve(11);
+  for (const Scalar v : p) EXPECT_GE(v, -1e-15);
+}
+
+TEST(DirectSolverTest, HandlesDanglingNodes) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  const auto g = std::move(builder).Build();
+  const DirectRwrSolver solver(g.NormalizedAdjacency(), 0.9);
+  const auto p = solver.Solve(0);
+  EXPECT_NEAR(p[0], 0.9, 1e-12);          // restart mass only (no returns)
+  EXPECT_NEAR(p[1], 0.9 * 0.1 * 0.5, 1e-12);
+  EXPECT_NEAR(p[2], 0.9 * 0.1 * 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace kdash::rwr

@@ -1,0 +1,164 @@
+// DynamicKDash: exact RWR under edge insertions/deletions (Woodbury
+// correction over the base factorization), verified against rebuilding
+// from scratch and against power iteration on the mutated graph.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/dynamic.h"
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::core {
+namespace {
+
+// Ground truth on an explicitly mutated copy of the graph.
+std::vector<Scalar> TruthAfterMutations(
+    const graph::Graph& original,
+    const std::vector<std::tuple<NodeId, NodeId, Scalar>>& additions,
+    const std::vector<std::pair<NodeId, NodeId>>& removals, NodeId query,
+    Scalar c) {
+  graph::GraphBuilder builder(original.num_nodes());
+  for (NodeId u = 0; u < original.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : original.OutNeighbors(u)) {
+      bool removed = false;
+      for (const auto& [src, dst] : removals) {
+        if (src == u && dst == nb.node) {
+          removed = true;
+          break;
+        }
+      }
+      if (!removed) builder.AddEdge(u, nb.node, nb.weight);
+    }
+  }
+  for (const auto& [src, dst, weight] : additions) {
+    builder.AddEdge(src, dst, weight);
+  }
+  const auto mutated = std::move(builder).Build();
+  rwr::PowerIterationOptions options;
+  options.restart_prob = c;
+  options.tolerance = 1e-14;
+  options.max_iterations = 20000;
+  return rwr::SolveRwr(mutated.NormalizedAdjacency(), query, options).proximity;
+}
+
+TEST(DynamicTest, NoUpdatesMatchesStaticSolve) {
+  const auto g = test::RandomDirectedGraph(80, 500, 11);
+  DynamicKDash dynamic(g, {});
+  const auto p = dynamic.Solve(5);
+  const auto truth = rwr::SolveRwr(g.NormalizedAdjacency(), 5, {});
+  for (std::size_t u = 0; u < p.size(); ++u) {
+    EXPECT_NEAR(p[u], truth.proximity[u], 1e-9);
+  }
+  EXPECT_EQ(dynamic.pending_columns(), 0);
+}
+
+TEST(DynamicTest, SingleEdgeAdditionExact) {
+  const auto g = test::RandomDirectedGraph(60, 350, 12);
+  DynamicKDash dynamic(g, {});
+  dynamic.AddEdge(3, 40, 2.0);
+  EXPECT_EQ(dynamic.pending_columns(), 1);
+
+  const auto p = dynamic.Solve(3);
+  const auto truth = TruthAfterMutations(g, {{3, 40, 2.0}}, {}, 3, 0.95);
+  for (std::size_t u = 0; u < p.size(); ++u) {
+    EXPECT_NEAR(p[u], truth[u], 1e-9) << "u=" << u;
+  }
+}
+
+TEST(DynamicTest, EdgeRemovalExact) {
+  const auto g = test::RandomDirectedGraph(60, 350, 13);
+  // Pick an existing edge to remove.
+  const NodeId src = 7;
+  ASSERT_GT(g.OutDegree(src), 0);
+  const NodeId dst = g.OutNeighbors(src)[0].node;
+
+  DynamicKDash dynamic(g, {});
+  dynamic.RemoveEdge(src, dst);
+  const auto p = dynamic.Solve(src);
+  const auto truth = TruthAfterMutations(g, {}, {{src, dst}}, src, 0.95);
+  for (std::size_t u = 0; u < p.size(); ++u) {
+    EXPECT_NEAR(p[u], truth[u], 1e-9) << "u=" << u;
+  }
+}
+
+TEST(DynamicTest, ManyMixedUpdatesExact) {
+  const auto g = test::RandomDirectedGraph(100, 700, 14);
+  DynamicKDashOptions options;
+  options.max_pending_columns = 128;  // keep everything in the correction
+  DynamicKDash dynamic(g, options);
+
+  Rng rng(15);
+  std::vector<std::tuple<NodeId, NodeId, Scalar>> additions;
+  for (int e = 0; e < 20; ++e) {
+    const NodeId src = rng.NextNode(100);
+    const NodeId dst = rng.NextNode(100);
+    if (src == dst) continue;
+    const Scalar weight = 0.5 + rng.NextDouble();
+    dynamic.AddEdge(src, dst, weight);
+    additions.emplace_back(src, dst, weight);
+  }
+  EXPECT_EQ(dynamic.rebuild_count(), 1);  // only the constructor's build
+
+  for (const NodeId q : {0, 33, 99}) {
+    const auto p = dynamic.Solve(q);
+    const auto truth = TruthAfterMutations(g, additions, {}, q, 0.95);
+    for (std::size_t u = 0; u < p.size(); ++u) {
+      EXPECT_NEAR(p[u], truth[u], 1e-8) << "q=" << q << " u=" << u;
+    }
+  }
+}
+
+TEST(DynamicTest, AutoRebuildKicksIn) {
+  const auto g = test::RandomDirectedGraph(80, 500, 16);
+  DynamicKDashOptions options;
+  options.max_pending_columns = 4;
+  DynamicKDash dynamic(g, options);
+  Rng rng(17);
+  for (int e = 0; e < 12; ++e) {
+    dynamic.AddEdge(rng.NextNode(80), rng.NextNode(80), 1.0);
+  }
+  EXPECT_GT(dynamic.rebuild_count(), 1);
+  EXPECT_LE(dynamic.pending_columns(), 4);
+}
+
+TEST(DynamicTest, ManualRebuildPreservesAnswers) {
+  const auto g = test::RandomDirectedGraph(70, 400, 18);
+  DynamicKDash dynamic(g, {});
+  dynamic.AddEdge(1, 50, 3.0);
+  dynamic.AddEdge(2, 60, 1.5);
+  const auto before = dynamic.Solve(1);
+  dynamic.Rebuild();
+  EXPECT_EQ(dynamic.pending_columns(), 0);
+  const auto after = dynamic.Solve(1);
+  for (std::size_t u = 0; u < before.size(); ++u) {
+    EXPECT_NEAR(before[u], after[u], 1e-9);
+  }
+}
+
+TEST(DynamicTest, TopKTracksUpdates) {
+  // Adding a strong edge from the query must promote the target node.
+  const auto g = test::RandomDirectedGraph(90, 500, 19);
+  DynamicKDash dynamic(g, {});
+  const NodeId query = 4;
+  const NodeId target = 77;
+
+  const auto before = dynamic.TopK(query, 5);
+  bool target_in_before = false;
+  for (const auto& entry : before) target_in_before |= entry.node == target;
+  EXPECT_FALSE(target_in_before);
+
+  dynamic.AddEdge(query, target, 500.0);  // dominate the query's out-mass
+  const auto after = dynamic.TopK(query, 5);
+  ASSERT_GE(after.size(), 2u);
+  EXPECT_EQ(after[0].node, query);
+  EXPECT_EQ(after[1].node, target);
+}
+
+TEST(DynamicTest, RemoveNonexistentEdgeDies) {
+  const auto g = test::SmallDirectedGraph();
+  DynamicKDash dynamic(g, {});
+  EXPECT_DEATH(dynamic.RemoveEdge(0, 4), "does not exist");
+}
+
+}  // namespace
+}  // namespace kdash::core

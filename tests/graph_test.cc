@@ -1,0 +1,133 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace kdash::graph {
+namespace {
+
+TEST(GraphTest, BasicShape) {
+  const Graph g = test::SmallDirectedGraph();
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 7);
+}
+
+TEST(GraphTest, OutNeighborsSortedAndCorrect) {
+  const Graph g = test::SmallDirectedGraph();
+  const auto nbrs = g.OutNeighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].node, 1);
+  EXPECT_EQ(nbrs[1].node, 2);
+}
+
+TEST(GraphTest, InNeighbors) {
+  const Graph g = test::SmallDirectedGraph();
+  const auto in3 = g.InNeighbors(3);
+  ASSERT_EQ(in3.size(), 2u);
+  EXPECT_EQ(in3[0].node, 1);
+  EXPECT_EQ(in3[1].node, 2);
+}
+
+TEST(GraphTest, Degrees) {
+  const Graph g = test::SmallDirectedGraph();
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.InDegree(0), 1);
+  EXPECT_EQ(g.Degree(0), 3);
+  EXPECT_EQ(g.OutDegree(2), 2);
+}
+
+TEST(GraphTest, DuplicateEdgesMergeWeights) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1, 1.0);
+  builder.AddEdge(0, 1, 2.5);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.OutNeighbors(0)[0].weight, 3.5);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), 3.5);
+}
+
+TEST(GraphTest, UndirectedEdgeAddsBothDirections) {
+  GraphBuilder builder(3);
+  builder.AddUndirectedEdge(0, 2, 1.5);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.OutNeighbors(0)[0].node, 2);
+  EXPECT_EQ(g.OutNeighbors(2)[0].node, 0);
+  EXPECT_TRUE(g.IsSymmetric());
+}
+
+TEST(GraphTest, SelfLoopAddedOnceByUndirected) {
+  GraphBuilder builder(2);
+  builder.AddUndirectedEdge(1, 1, 2.0);
+  const Graph g = std::move(builder).Build();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.OutWeight(1), 2.0);
+}
+
+TEST(GraphTest, IsSymmetricDetectsAsymmetry) {
+  const Graph g = test::SmallDirectedGraph();
+  EXPECT_FALSE(g.IsSymmetric());
+}
+
+TEST(GraphTest, NormalizedAdjacencyColumnsAreStochastic) {
+  const Graph g = test::SmallDirectedGraph();
+  const auto a = g.NormalizedAdjacency();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Scalar sum = 0.0;
+    for (Index k = a.ColBegin(v); k < a.ColEnd(v); ++k) sum += a.Value(k);
+    if (g.OutDegree(v) > 0) {
+      EXPECT_NEAR(sum, 1.0, 1e-12) << "column " << v;
+    } else {
+      EXPECT_DOUBLE_EQ(sum, 0.0);
+    }
+  }
+}
+
+TEST(GraphTest, NormalizedAdjacencyRespectsWeights) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1, 3.0);
+  builder.AddEdge(0, 2, 1.0);
+  const Graph g = std::move(builder).Build();
+  const auto a = g.NormalizedAdjacency();
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 0.75);
+  EXPECT_DOUBLE_EQ(a.At(2, 0), 0.25);
+}
+
+TEST(GraphTest, DanglingNodeHasZeroColumn) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 2);
+  const Graph g = std::move(builder).Build();
+  const auto a = g.NormalizedAdjacency();
+  EXPECT_EQ(a.ColNnz(1), 0);
+  EXPECT_EQ(a.ColNnz(2), 0);
+  const auto stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_dangling, 2);
+}
+
+TEST(GraphTest, ComputeStats) {
+  const Graph g = test::SmallDirectedGraph();
+  const GraphStats stats = ComputeStats(g);
+  EXPECT_EQ(stats.num_nodes, 5);
+  EXPECT_EQ(stats.num_edges, 7);
+  EXPECT_EQ(stats.max_out_degree, 2);
+  EXPECT_EQ(stats.num_dangling, 0);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 7.0 / 5.0);
+}
+
+TEST(GraphTest, HasEdge) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  EXPECT_TRUE(builder.HasEdge(0, 1));
+  EXPECT_FALSE(builder.HasEdge(1, 0));
+}
+
+TEST(GraphTest, DescribeGraphMentionsCounts) {
+  const Graph g = test::SmallDirectedGraph();
+  const std::string description = DescribeGraph(g);
+  EXPECT_NE(description.find("n=5"), std::string::npos);
+  EXPECT_NE(description.find("m=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kdash::graph

@@ -1,0 +1,104 @@
+// Round-trip tests for KDashIndex persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "test_util.h"
+
+namespace kdash::core {
+namespace {
+
+void ExpectIndexesEquivalent(const KDashIndex& a, const KDashIndex& b) {
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_DOUBLE_EQ(a.restart_prob(), b.restart_prob());
+  EXPECT_DOUBLE_EQ(a.amax(), b.amax());
+  EXPECT_EQ(a.amax_of_node(), b.amax_of_node());
+  EXPECT_EQ(a.c_prime_of_node(), b.c_prime_of_node());
+  EXPECT_EQ(a.new_of_old(), b.new_of_old());
+  EXPECT_EQ(a.old_of_new(), b.old_of_new());
+  EXPECT_EQ(a.lower_inverse(), b.lower_inverse());
+  EXPECT_EQ(a.upper_inverse(), b.upper_inverse());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    const auto na = a.OutNeighbors(u);
+    const auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(na.size(), nb.size()) << "node " << u;
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+}
+
+TEST(IndexIoTest, StreamRoundTripPreservesEverything) {
+  const auto g = test::RandomDirectedGraph(80, 500, 91);
+  KDashOptions options;
+  options.restart_prob = 0.9;
+  options.reorder_method = reorder::Method::kHybrid;
+  options.seed = 5;
+  const auto index = KDashIndex::Build(g, options);
+
+  std::stringstream buffer;
+  index.Save(buffer);
+  const auto loaded = KDashIndex::Load(buffer);
+  ExpectIndexesEquivalent(index, loaded);
+  EXPECT_EQ(loaded.options().reorder_method, reorder::Method::kHybrid);
+  EXPECT_EQ(loaded.options().seed, 5u);
+  EXPECT_EQ(loaded.stats().nnz_lower_inverse, index.stats().nnz_lower_inverse);
+}
+
+TEST(IndexIoTest, LoadedIndexAnswersIdentically) {
+  const auto g = test::RandomDirectedGraph(120, 800, 92);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  index.Save(buffer);
+  const auto loaded = KDashIndex::Load(buffer);
+
+  KDashSearcher original(&index);
+  KDashSearcher restored(&loaded);
+  for (const NodeId q : {0, 17, 63, 119}) {
+    const auto a = original.TopK(q, 10);
+    const auto b = restored.TopK(q, 10);
+    ASSERT_EQ(a.size(), b.size()) << "q=" << q;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(IndexIoTest, FileRoundTrip) {
+  const auto g = test::RandomDirectedGraph(50, 300, 93);
+  const auto index = KDashIndex::Build(g, {});
+  const std::string path = ::testing::TempDir() + "/kdash_index_test.bin";
+  index.SaveFile(path);
+  const auto loaded = KDashIndex::LoadFile(path);
+  ExpectIndexesEquivalent(index, loaded);
+}
+
+TEST(IndexIoTest, RejectsGarbage) {
+  std::stringstream buffer("this is not an index");
+  EXPECT_DEATH(KDashIndex::Load(buffer), "not a K-dash index");
+}
+
+TEST(IndexIoTest, RejectsTruncation) {
+  const auto g = test::RandomDirectedGraph(40, 200, 94);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  index.Save(buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_DEATH(KDashIndex::Load(truncated), "truncated");
+}
+
+TEST(IndexIoTest, RejectsWrongVersionMagicFlip) {
+  const auto g = test::RandomDirectedGraph(30, 150, 95);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  index.Save(buffer);
+  std::string bytes = buffer.str();
+  bytes[0] = 'X';  // corrupt the magic
+  std::stringstream corrupted(bytes);
+  EXPECT_DEATH(KDashIndex::Load(corrupted), "not a K-dash index");
+}
+
+}  // namespace
+}  // namespace kdash::core

@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace kdash::graph {
+namespace {
+
+TEST(IoTest, ReadBasicEdgeList) {
+  std::istringstream in("0 1\n1 2 2.5\n# comment line\n2 0\n");
+  const Graph g = ReadEdgeList(in, /*undirected=*/false);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.OutNeighbors(1)[0].weight, 2.5);
+}
+
+TEST(IoTest, ReadDensifiesSparseIds) {
+  std::istringstream in("100 2000\n2000 30000\n");
+  const Graph g = ReadEdgeList(in, false);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(IoTest, ReadUndirectedMirrorsEdges) {
+  std::istringstream in("0 1\n1 2\n");
+  const Graph g = ReadEdgeList(in, /*undirected=*/true);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.IsSymmetric());
+}
+
+TEST(IoTest, InlineCommentsAndBlankLines) {
+  std::istringstream in("\n0 1 # trailing comment\n\n# full comment\n1 0\n");
+  const Graph g = ReadEdgeList(in, false);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(IoTest, WriteReadRoundTrip) {
+  const Graph g = test::SmallDirectedGraph();
+  std::ostringstream out;
+  WriteEdgeList(g, out);
+  std::istringstream in(out.str());
+  const Graph round = ReadEdgeList(in, false);
+  ASSERT_EQ(round.num_nodes(), g.num_nodes());
+  ASSERT_EQ(round.num_edges(), g.num_edges());
+  // Node ids are assigned by first appearance, which for a full write in id
+  // order preserves ids; adjacency must match exactly.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.OutNeighbors(u);
+    const auto b = round.OutNeighbors(u);
+    ASSERT_EQ(a.size(), b.size()) << "node " << u;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+TEST(IoTest, FileRoundTrip) {
+  const Graph g = test::RandomDirectedGraph(30, 90, 4);
+  const std::string path = ::testing::TempDir() + "/kdash_io_test.txt";
+  WriteEdgeListFile(g, path);
+  const Graph round = ReadEdgeListFile(path, false);
+  EXPECT_EQ(round.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace kdash::graph

@@ -1,0 +1,148 @@
+// Exactness and behavior of the personalized (restart-set) top-k search.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "graph/generators.h"
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::core {
+namespace {
+
+std::vector<ScoredNode> GroundTruthPersonalized(
+    const sparse::CscMatrix& a, const std::vector<NodeId>& sources,
+    std::size_t k, Scalar c) {
+  std::vector<Scalar> restart(static_cast<std::size_t>(a.cols()), 0.0);
+  for (const NodeId s : sources) {
+    restart[static_cast<std::size_t>(s)] =
+        1.0 / static_cast<Scalar>(sources.size());
+  }
+  rwr::PowerIterationOptions options;
+  options.restart_prob = c;
+  options.tolerance = 1e-14;
+  options.max_iterations = 20000;
+  const auto result = rwr::SolveRwrVector(a, restart, options);
+  auto truth = TopKOfVector(result.proximity, k);
+  while (!truth.empty() && truth.back().score < 1e-13) truth.pop_back();
+  return truth;
+}
+
+TEST(PersonalizedTest, SingletonSetMatchesPlainTopK) {
+  const auto g = test::RandomDirectedGraph(100, 600, 81);
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+  for (const NodeId q : {0, 33, 99}) {
+    const auto plain = searcher.TopK(q, 7);
+    const auto personalized = searcher.TopKPersonalized({q}, 7);
+    ASSERT_EQ(plain.size(), personalized.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+      EXPECT_EQ(plain[i].node, personalized[i].node);
+      EXPECT_DOUBLE_EQ(plain[i].score, personalized[i].score);
+    }
+  }
+}
+
+TEST(PersonalizedTest, DuplicateSourcesIgnored) {
+  const auto g = test::RandomDirectedGraph(60, 350, 82);
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+  const auto deduped = searcher.TopKPersonalized({5, 9}, 6);
+  const auto duplicated = searcher.TopKPersonalized({9, 5, 5, 9, 5}, 6);
+  ASSERT_EQ(deduped.size(), duplicated.size());
+  for (std::size_t i = 0; i < deduped.size(); ++i) {
+    EXPECT_EQ(deduped[i].node, duplicated[i].node);
+    EXPECT_NEAR(deduped[i].score, duplicated[i].score, 1e-14);
+  }
+}
+
+class PersonalizedExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(PersonalizedExactnessTest, MatchesPowerIterationRestartVector) {
+  const auto [set_size, c, seed] = GetParam();
+  const NodeId n = 150;
+  const auto g = test::RandomDirectedGraph(
+      n, 900, static_cast<std::uint64_t>(seed) * 271 + 3);
+  const auto a = g.NormalizedAdjacency();
+  KDashOptions options;
+  options.restart_prob = c;
+  const auto index = KDashIndex::Build(g, options);
+  KDashSearcher searcher(&index);
+
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<NodeId> sources;
+  for (int s = 0; s < set_size; ++s) sources.push_back(rng.NextNode(n));
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  const auto got = searcher.TopKPersonalized(sources, 10);
+  const auto truth = GroundTruthPersonalized(a, sources, 10, c);
+  ASSERT_EQ(got.size(), truth.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, truth[i].score, 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PersonalizedExactnessTest,
+                         ::testing::Combine(::testing::Values(2, 5, 12),
+                                            ::testing::Values(0.8, 0.95),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(PersonalizedTest, SourcesLeadTheRanking) {
+  // With c = 0.95 each source holds ≈ c/|S| mass, far above any outsider.
+  const auto g = test::RandomDirectedGraph(120, 700, 83);
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+  const std::vector<NodeId> sources{3, 40, 77};
+  const auto top = searcher.TopKPersonalized(sources, 3);
+  ASSERT_EQ(top.size(), 3u);
+  for (const auto& entry : top) {
+    EXPECT_TRUE(entry.node == 3 || entry.node == 40 || entry.node == 77)
+        << entry.node;
+    EXPECT_GT(entry.score, 0.3);
+  }
+}
+
+TEST(PersonalizedTest, PruningStillFiresAndStaysExact) {
+  Rng rng(84);
+  const auto g = graph::PowerLawCluster(600, 4, 0.5, true, 0.4, rng);
+  const auto a = g.NormalizedAdjacency();
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+
+  const std::vector<NodeId> sources{10, 200, 400};
+  SearchStats stats;
+  const auto got = searcher.TopKPersonalized(sources, 5, {}, &stats);
+  EXPECT_TRUE(stats.terminated_early);
+  EXPECT_LT(stats.proximity_computations, g.num_nodes() / 2);
+
+  const auto truth = GroundTruthPersonalized(a, sources, 5, 0.95);
+  ASSERT_EQ(got.size(), truth.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, truth[i].score, 1e-9);
+  }
+}
+
+TEST(PersonalizedTest, DisconnectedSourcesCoverBothComponents) {
+  graph::GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 3);
+  const auto g = std::move(builder).Build();
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+  const auto top = searcher.TopKPersonalized({0, 3}, 6);
+  ASSERT_EQ(top.size(), 4u);  // {0,1} and {3,4} reachable; 2 and 5 not
+  for (const auto& entry : top) {
+    EXPECT_TRUE(entry.node == 0 || entry.node == 1 || entry.node == 3 ||
+                entry.node == 4);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::core

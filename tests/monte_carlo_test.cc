@@ -1,0 +1,118 @@
+#include "baselines/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::baselines {
+namespace {
+
+TEST(MonteCarloTest, EstimatesAreUnbiasedOnTinyGraph) {
+  const auto g = test::SmallDirectedGraph();
+  const auto a = g.NormalizedAdjacency();
+  MonteCarloOptions options;
+  options.num_walks = 200000;
+  const MonteCarloRwr mc(a, options);
+  const auto truth = rwr::SolveRwr(a, 0, {});
+  const auto estimate = mc.Solve(0);
+  for (std::size_t u = 0; u < estimate.size(); ++u) {
+    EXPECT_NEAR(estimate[u], truth.proximity[u], 0.01) << "u=" << u;
+  }
+}
+
+TEST(MonteCarloTest, ErrorShrinksWithWalkCount) {
+  const auto g = test::RandomDirectedGraph(80, 500, 21);
+  const auto a = g.NormalizedAdjacency();
+  const auto truth = rwr::SolveRwr(a, 5, {});
+
+  auto l1_error = [&](int walks) {
+    MonteCarloOptions options;
+    options.num_walks = walks;
+    const MonteCarloRwr mc(a, options);
+    const auto estimate = mc.Solve(5);
+    Scalar err = 0.0;
+    for (std::size_t u = 0; u < estimate.size(); ++u) {
+      err += std::abs(estimate[u] - truth.proximity[u]);
+    }
+    return err;
+  };
+  const Scalar coarse = l1_error(500);
+  const Scalar fine = l1_error(50000);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 0.05);
+}
+
+TEST(MonteCarloTest, TopOneIsQueryNode) {
+  const auto g = test::RandomDirectedGraph(60, 400, 22);
+  MonteCarloOptions options;
+  options.num_walks = 2000;
+  const MonteCarloRwr mc(g.NormalizedAdjacency(), options);
+  const auto top = mc.TopK(17, 3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].node, 17);
+}
+
+TEST(MonteCarloTest, DeterministicGivenSeedAndQuery) {
+  const auto g = test::RandomDirectedGraph(50, 300, 23);
+  MonteCarloOptions options;
+  options.num_walks = 1000;
+  const MonteCarloRwr mc(g.NormalizedAdjacency(), options);
+  const auto a = mc.Solve(7);
+  const auto b = mc.Solve(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MonteCarloTest, CanMissTopKUnlikeKDash) {
+  // With few walks the tail of the top-k is noisy: the defect that
+  // motivates exact search.
+  const auto g = test::RandomDirectedGraph(200, 1200, 24);
+  const auto a = g.NormalizedAdjacency();
+  MonteCarloOptions options;
+  options.num_walks = 200;
+  const MonteCarloRwr mc(a, options);
+
+  int mismatches = 0;
+  for (const NodeId q : {3, 50, 90, 140, 190}) {
+    const auto truth = rwr::TopKByPowerIteration(a, q, 10, {});
+    const auto approx = mc.TopK(q, 10);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (truth[i].score <= 1e-13) break;
+      bool found = false;
+      for (const auto& entry : approx) {
+        if (entry.node == truth[i].node) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(MonteCarloTest, DanglingNodesAbsorbWalks) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);  // nodes 1, 2 dangle
+  const auto g = std::move(builder).Build();
+  MonteCarloOptions options;
+  options.num_walks = 100000;
+  options.restart_prob = 0.5;
+  const MonteCarloRwr mc(g.NormalizedAdjacency(), options);
+  const auto estimate = mc.Solve(0);
+  rwr::PowerIterationOptions pi;
+  pi.restart_prob = 0.5;
+  const auto truth = rwr::SolveRwr(g.NormalizedAdjacency(), 0, pi);
+  for (std::size_t u = 0; u < estimate.size(); ++u) {
+    EXPECT_NEAR(estimate[u], truth.proximity[u], 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::baselines

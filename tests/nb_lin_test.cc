@@ -1,0 +1,116 @@
+#include "baselines/nb_lin.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash::baselines {
+namespace {
+
+// Precision-at-k of `approx` against ground truth, the Figure 3 metric.
+double PrecisionAtK(const std::vector<ScoredNode>& approx,
+                    const std::vector<ScoredNode>& truth, std::size_t k) {
+  std::set<NodeId> truth_set;
+  for (std::size_t i = 0; i < std::min(k, truth.size()); ++i) {
+    truth_set.insert(truth[i].node);
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < std::min(k, approx.size()); ++i) {
+    hits += truth_set.count(approx[i].node);
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+TEST(NbLinTest, NearFullRankIsNearExact) {
+  const auto g = test::RandomDirectedGraph(60, 400, 41);
+  const auto a = g.NormalizedAdjacency();
+  NbLinOptions options;
+  options.restart_prob = 0.9;
+  options.target_rank = 60;  // full rank
+  const NbLin nb_lin(a, options);
+
+  rwr::PowerIterationOptions pi;
+  pi.restart_prob = 0.9;
+  const auto truth = rwr::SolveRwr(a, 5, pi);
+  const auto approx = nb_lin.Solve(5);
+  for (std::size_t u = 0; u < approx.size(); ++u) {
+    EXPECT_NEAR(approx[u], truth.proximity[u], 1e-6) << "u=" << u;
+  }
+}
+
+TEST(NbLinTest, QueryKeepsRestartMass) {
+  const auto g = test::RandomDirectedGraph(80, 500, 42);
+  NbLinOptions options;
+  options.target_rank = 30;
+  const NbLin nb_lin(g.NormalizedAdjacency(), options);
+  const auto p = nb_lin.Solve(12);
+  EXPECT_GE(p[12], 0.9);  // c + low-rank correction
+}
+
+TEST(NbLinTest, PrecisionImprovesWithRank) {
+  const auto g = test::RandomDirectedGraph(150, 1200, 43);
+  const auto a = g.NormalizedAdjacency();
+  const auto truth = rwr::TopKByPowerIteration(a, 7, 5, {});
+
+  double precision_low = 0.0, precision_high = 0.0;
+  const int queries[] = {7, 31, 99};
+  {
+    NbLinOptions options;
+    options.target_rank = 5;
+    const NbLin nb(a, options);
+    for (const NodeId q : queries) {
+      const auto t = rwr::TopKByPowerIteration(a, q, 5, {});
+      precision_low += PrecisionAtK(nb.TopK(q, 5), t, 5);
+    }
+  }
+  {
+    NbLinOptions options;
+    options.target_rank = 140;
+    const NbLin nb(a, options);
+    for (const NodeId q : queries) {
+      const auto t = rwr::TopKByPowerIteration(a, q, 5, {});
+      precision_high += PrecisionAtK(nb.TopK(q, 5), t, 5);
+    }
+  }
+  EXPECT_GE(precision_high, precision_low);
+  EXPECT_GT(precision_high, 2.0);  // ≥ 0.67 avg over 3 queries
+  (void)truth;
+}
+
+TEST(NbLinTest, LowRankCanMissTopKNodes) {
+  // The motivating defect of the approximate approach: at low rank the
+  // returned set generally differs from the exact one somewhere.
+  const auto g = test::RandomDirectedGraph(200, 1600, 44);
+  const auto a = g.NormalizedAdjacency();
+  NbLinOptions options;
+  options.target_rank = 3;
+  const NbLin nb(a, options);
+  int mismatches = 0;
+  for (const NodeId q : {1, 20, 50, 90, 150}) {
+    const auto truth = rwr::TopKByPowerIteration(a, q, 10, {});
+    const auto approx = nb.TopK(q, 10);
+    if (PrecisionAtK(approx, truth, 10) < 1.0) ++mismatches;
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+TEST(NbLinTest, DeterministicGivenSeed) {
+  const auto g = test::RandomDirectedGraph(60, 300, 45);
+  NbLinOptions options;
+  options.target_rank = 20;
+  options.seed = 9;
+  const NbLin a(g.NormalizedAdjacency(), options);
+  const NbLin b(g.NormalizedAdjacency(), options);
+  const auto pa = a.Solve(3);
+  const auto pb = b.Solve(3);
+  for (std::size_t u = 0; u < pa.size(); ++u) {
+    EXPECT_DOUBLE_EQ(pa[u], pb[u]);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::baselines

@@ -1,0 +1,117 @@
+#include "rwr/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_util.h"
+
+namespace kdash::rwr {
+namespace {
+
+TEST(PowerIterationTest, ConvergesOnSmallGraph) {
+  const auto g = test::SmallDirectedGraph();
+  const auto result = SolveRwr(g.NormalizedAdjacency(), 0, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.final_delta, 1e-12);
+}
+
+TEST(PowerIterationTest, FixedPointSatisfiesEquationOne) {
+  // p = (1-c)Ap + cq at the solution.
+  const auto g = test::RandomDirectedGraph(50, 300, 2);
+  const auto a = g.NormalizedAdjacency();
+  PowerIterationOptions options;
+  options.restart_prob = 0.85;
+  const auto result = SolveRwr(a, 7, options);
+  ASSERT_TRUE(result.converged);
+  std::vector<Scalar> rhs;
+  a.MultiplyVector(result.proximity, rhs, 1.0 - options.restart_prob, 0.0);
+  rhs[7] += options.restart_prob;
+  for (std::size_t u = 0; u < rhs.size(); ++u) {
+    EXPECT_NEAR(result.proximity[u], rhs[u], 1e-10);
+  }
+}
+
+TEST(PowerIterationTest, MassSumsToOneOnStochasticGraph) {
+  // With no dangling nodes, Σp = 1 exactly.
+  const auto g = test::SmallDirectedGraph();  // every node has out-edges
+  const auto result = SolveRwr(g.NormalizedAdjacency(), 2, {});
+  const Scalar total = std::accumulate(result.proximity.begin(),
+                                       result.proximity.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PowerIterationTest, MassLeaksWithDanglingNodes) {
+  graph::GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);  // node 2 dangles
+  const auto g = std::move(builder).Build();
+  const auto result = SolveRwr(g.NormalizedAdjacency(), 0, {});
+  const Scalar total = std::accumulate(result.proximity.begin(),
+                                       result.proximity.end(), 0.0);
+  EXPECT_LT(total, 1.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(PowerIterationTest, QueryNodeDominatesWithHighRestart) {
+  const auto g = test::RandomDirectedGraph(100, 500, 3);
+  const auto result = SolveRwr(g.NormalizedAdjacency(), 42, {});
+  for (std::size_t u = 0; u < result.proximity.size(); ++u) {
+    if (u == 42) continue;
+    EXPECT_LT(result.proximity[u], result.proximity[42]);
+  }
+  EXPECT_GE(result.proximity[42], 0.95);  // at least the restart mass
+}
+
+TEST(PowerIterationTest, UnreachableNodesGetZero) {
+  graph::GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 2);
+  const auto g = std::move(builder).Build();
+  const auto result = SolveRwr(g.NormalizedAdjacency(), 0, {});
+  EXPECT_DOUBLE_EQ(result.proximity[2], 0.0);
+  EXPECT_DOUBLE_EQ(result.proximity[3], 0.0);
+  EXPECT_GT(result.proximity[1], 0.0);
+}
+
+TEST(PowerIterationTest, RestartVectorGeneralizesUnitVector) {
+  const auto g = test::RandomDirectedGraph(30, 150, 4);
+  const auto a = g.NormalizedAdjacency();
+  std::vector<Scalar> restart(30, 0.0);
+  restart[5] = 1.0;
+  const auto via_vector = SolveRwrVector(a, restart, {});
+  const auto via_node = SolveRwr(a, 5, {});
+  for (std::size_t u = 0; u < 30; ++u) {
+    EXPECT_NEAR(via_vector.proximity[u], via_node.proximity[u], 1e-14);
+  }
+}
+
+TEST(PowerIterationTest, TopKMatchesProximityOrder) {
+  const auto g = test::RandomDirectedGraph(60, 400, 5);
+  const auto a = g.NormalizedAdjacency();
+  const auto full = SolveRwr(a, 3, {});
+  const auto top = TopKByPowerIteration(a, 3, 5, {});
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].node, 3);  // the query dominates
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].score, top[i - 1].score);
+    EXPECT_NEAR(top[i].score,
+                full.proximity[static_cast<std::size_t>(top[i].node)], 1e-14);
+  }
+}
+
+TEST(PowerIterationTest, LowerRestartSpreadsMass) {
+  const auto g = test::RandomDirectedGraph(80, 600, 6);
+  const auto a = g.NormalizedAdjacency();
+  PowerIterationOptions high, low;
+  high.restart_prob = 0.95;
+  low.restart_prob = 0.3;
+  const auto p_high = SolveRwr(a, 0, high);
+  const auto p_low = SolveRwr(a, 0, low);
+  EXPECT_GT(p_high.proximity[0], p_low.proximity[0]);
+}
+
+}  // namespace
+}  // namespace kdash::rwr

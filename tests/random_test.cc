@@ -1,0 +1,117 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace kdash {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversFullRange) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(21);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RngTest, UniformityChiSquare) {
+  // 16 buckets over [0,1); chi-square should be far below the 0.001
+  // rejection threshold (~39 for 15 dof).
+  Rng rng(31);
+  const int buckets = 16, n = 160000;
+  std::vector<int> count(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    ++count[static_cast<int>(rng.NextDouble() * buckets)];
+  }
+  const double expected = static_cast<double>(n) / buckets;
+  double chi2 = 0.0;
+  for (const int c : count) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 39.0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  rng.Shuffle(v);
+  int displaced = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<std::size_t>(i)] != i) ++displaced;
+  }
+  EXPECT_GT(displaced, 80);
+}
+
+}  // namespace
+}  // namespace kdash

@@ -1,0 +1,124 @@
+#include "linalg/randomized_svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "sparse/coo_builder.h"
+#include "test_util.h"
+
+namespace kdash::linalg {
+namespace {
+
+// Builds a sparse matrix with a planted low-rank structure plus noise.
+sparse::CscMatrix PlantedLowRank(NodeId n, int rank, Rng& rng) {
+  // Sum of `rank` outer products of sparse indicator-ish vectors.
+  sparse::CooBuilder builder(n, n);
+  for (int r = 0; r < rank; ++r) {
+    std::vector<NodeId> rows, cols;
+    for (int t = 0; t < 12; ++t) {
+      rows.push_back(rng.NextNode(n));
+      cols.push_back(rng.NextNode(n));
+    }
+    const Scalar scale = static_cast<Scalar>(rank - r);
+    for (const NodeId i : rows) {
+      for (const NodeId j : cols) builder.Add(i, j, scale);
+    }
+  }
+  return builder.BuildCsc();
+}
+
+TEST(RandomizedSvdTest, ExactOnLowRankMatrix) {
+  Rng rng(1);
+  const NodeId n = 60;
+  const auto a = PlantedLowRank(n, 3, rng);
+  SvdOptions options;
+  options.rank = 10;
+  const SvdResult svd = RandomizedSvd(a, options, rng);
+
+  // Rebuild and compare: rank 10 ≥ true rank 3, so this must be exact.
+  const auto dense = test::ToDense(a);
+  DenseMatrix rebuilt(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      Scalar sum = 0.0;
+      for (int r = 0; r < options.rank; ++r) {
+        sum += svd.u(i, r) * svd.singular_values[static_cast<std::size_t>(r)] *
+               svd.v(j, r);
+      }
+      rebuilt(i, j) = sum;
+    }
+  }
+  EXPECT_LT(test::MaxAbsDiff(rebuilt, dense), 1e-6 * dense.FrobeniusNorm());
+}
+
+TEST(RandomizedSvdTest, SingularValuesSortedDescendingNonNegative) {
+  Rng rng(2);
+  const auto g = test::RandomDirectedGraph(80, 600, 3);
+  const auto a = g.NormalizedAdjacency();
+  SvdOptions options;
+  options.rank = 20;
+  const SvdResult svd = RandomizedSvd(a, options, rng);
+  for (std::size_t i = 1; i < svd.singular_values.size(); ++i) {
+    EXPECT_LE(svd.singular_values[i], svd.singular_values[i - 1] + 1e-12);
+    EXPECT_GE(svd.singular_values[i], 0.0);
+  }
+}
+
+TEST(RandomizedSvdTest, FactorsHaveOrthonormalLeftVectors) {
+  Rng rng(3);
+  const auto g = test::RandomDirectedGraph(70, 500, 4);
+  SvdOptions options;
+  options.rank = 15;
+  const SvdResult svd = RandomizedSvd(g.NormalizedAdjacency(), options, rng);
+  const DenseMatrix gram = TransposeMatMul(svd.u, svd.u);
+  EXPECT_LT(test::MaxAbsDiff(gram, DenseMatrix::Identity(15)), 1e-8);
+}
+
+TEST(RandomizedSvdTest, ApproximationErrorDecreasesWithRank) {
+  Rng rng(4);
+  const auto g = test::RandomDirectedGraph(100, 900, 5);
+  const auto a = g.NormalizedAdjacency();
+  const auto dense = test::ToDense(a);
+
+  auto error_at_rank = [&](int rank) {
+    Rng local(7);
+    SvdOptions options;
+    options.rank = rank;
+    const SvdResult svd = RandomizedSvd(a, options, local);
+    Scalar err = 0.0;
+    for (int i = 0; i < dense.rows(); ++i) {
+      for (int j = 0; j < dense.cols(); ++j) {
+        Scalar sum = 0.0;
+        for (int r = 0; r < rank; ++r) {
+          sum += svd.u(i, r) *
+                 svd.singular_values[static_cast<std::size_t>(r)] * svd.v(j, r);
+        }
+        const Scalar d = dense(i, j) - sum;
+        err += d * d;
+      }
+    }
+    return std::sqrt(err);
+  };
+
+  const Scalar e5 = error_at_rank(5);
+  const Scalar e30 = error_at_rank(30);
+  const Scalar e90 = error_at_rank(90);
+  EXPECT_GT(e5, e30);
+  EXPECT_GT(e30, e90);
+  EXPECT_LT(e90, 0.35 * e5);  // near-full rank should be far better
+}
+
+TEST(RandomizedSvdTest, RankClampedToDimension) {
+  Rng rng(6);
+  const auto g = test::RandomDirectedGraph(10, 40, 7);
+  SvdOptions options;
+  options.rank = 50;  // > n
+  const SvdResult svd = RandomizedSvd(g.NormalizedAdjacency(), options, rng);
+  EXPECT_EQ(svd.u.cols(), 10);
+  EXPECT_EQ(svd.singular_values.size(), 10u);
+}
+
+}  // namespace
+}  // namespace kdash::linalg

@@ -1,0 +1,159 @@
+#include "reorder/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "sparse/permute.h"
+#include "test_util.h"
+
+namespace kdash::reorder {
+namespace {
+
+void ExpectValidReordering(const Reordering& r, NodeId n) {
+  ASSERT_EQ(r.new_of_old.size(), static_cast<std::size_t>(n));
+  ASSERT_EQ(r.old_of_new.size(), static_cast<std::size_t>(n));
+  sparse::ValidatePermutation(r.new_of_old);
+  sparse::ValidatePermutation(r.old_of_new);
+  for (NodeId u = 0; u < n; ++u) {
+    EXPECT_EQ(r.old_of_new[static_cast<std::size_t>(
+                  r.new_of_old[static_cast<std::size_t>(u)])],
+              u);
+  }
+}
+
+TEST(ReorderTest, IdentityKeepsOrder) {
+  const graph::Graph g = test::SmallDirectedGraph();
+  const Reordering r = ComputeReordering(g, Method::kIdentity);
+  ExpectValidReordering(r, g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(r.new_of_old[static_cast<std::size_t>(u)], u);
+  }
+}
+
+TEST(ReorderTest, RandomIsValidPermutationAndSeedDependent) {
+  const graph::Graph g = test::RandomDirectedGraph(100, 300, 1);
+  const Reordering a = ComputeReordering(g, Method::kRandom, 1);
+  const Reordering b = ComputeReordering(g, Method::kRandom, 2);
+  ExpectValidReordering(a, g.num_nodes());
+  ExpectValidReordering(b, g.num_nodes());
+  EXPECT_NE(a.new_of_old, b.new_of_old);
+  const Reordering a2 = ComputeReordering(g, Method::kRandom, 1);
+  EXPECT_EQ(a.new_of_old, a2.new_of_old);
+}
+
+TEST(ReorderTest, DegreeOrderIsAscending) {
+  const graph::Graph g = test::RandomDirectedGraph(200, 800, 4);
+  const Reordering r = ComputeReordering(g, Method::kDegree);
+  ExpectValidReordering(r, g.num_nodes());
+  for (std::size_t pos = 1; pos < r.old_of_new.size(); ++pos) {
+    EXPECT_LE(g.Degree(r.old_of_new[pos - 1]), g.Degree(r.old_of_new[pos]))
+        << "position " << pos;
+  }
+}
+
+TEST(ReorderTest, ClusterProducesDoublyBorderedBlockDiagonal) {
+  Rng rng(7);
+  const graph::Graph g =
+      graph::PlantedPartition(300, 5, 10.0, 0.8, false, rng);
+  const Reordering r = ComputeReordering(g, Method::kCluster);
+  ExpectValidReordering(r, g.num_nodes());
+  ASSERT_GT(r.num_partitions, 1);
+  ASSERT_EQ(r.partition_of_node.size(), static_cast<std::size_t>(g.num_nodes()));
+
+  // The defining property (footnote 4 of the paper): no edge may connect
+  // two DIFFERENT non-border partitions.
+  const NodeId border = r.num_partitions;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId pu = r.partition_of_node[static_cast<std::size_t>(u)];
+    for (const graph::Neighbor& nb : g.OutNeighbors(u)) {
+      const NodeId pv = r.partition_of_node[static_cast<std::size_t>(nb.node)];
+      if (pu != border && pv != border) {
+        EXPECT_EQ(pu, pv) << "cross-partition edge " << u << "→" << nb.node;
+      }
+    }
+  }
+}
+
+TEST(ReorderTest, ClusterLayoutGroupsPartitionsContiguously) {
+  Rng rng(8);
+  const graph::Graph g = graph::PlantedPartition(200, 4, 8.0, 0.5, false, rng);
+  const Reordering r = ComputeReordering(g, Method::kCluster);
+  // Walking old_of_new, the partition label must change at most
+  // num_partitions + 1 times (each partition is one contiguous run).
+  int changes = 0;
+  for (std::size_t pos = 1; pos < r.old_of_new.size(); ++pos) {
+    const NodeId prev = r.partition_of_node[static_cast<std::size_t>(
+        r.old_of_new[pos - 1])];
+    const NodeId curr =
+        r.partition_of_node[static_cast<std::size_t>(r.old_of_new[pos])];
+    if (prev != curr) ++changes;
+  }
+  EXPECT_LE(changes, r.num_partitions + 1);
+}
+
+TEST(ReorderTest, HybridSortsByDegreeWithinPartitions) {
+  Rng rng(9);
+  const graph::Graph g = graph::PlantedPartition(240, 4, 9.0, 0.6, false, rng);
+  const Reordering r = ComputeReordering(g, Method::kHybrid);
+  ExpectValidReordering(r, g.num_nodes());
+  for (std::size_t pos = 1; pos < r.old_of_new.size(); ++pos) {
+    const NodeId a = r.old_of_new[pos - 1];
+    const NodeId b = r.old_of_new[pos];
+    if (r.partition_of_node[static_cast<std::size_t>(a)] ==
+        r.partition_of_node[static_cast<std::size_t>(b)]) {
+      EXPECT_LE(g.Degree(a), g.Degree(b));
+    }
+  }
+}
+
+TEST(ReorderTest, HybridAndClusterShareBorderMembership) {
+  Rng rng(10);
+  const graph::Graph g = graph::PlantedPartition(200, 4, 8.0, 0.7, false, rng);
+  const Reordering cluster = ComputeReordering(g, Method::kCluster, 3);
+  const Reordering hybrid = ComputeReordering(g, Method::kHybrid, 3);
+  EXPECT_EQ(cluster.partition_of_node, hybrid.partition_of_node);
+  EXPECT_EQ(cluster.num_partitions, hybrid.num_partitions);
+}
+
+TEST(ReorderTest, RcmIsValidPermutation) {
+  const graph::Graph g = test::RandomDirectedGraph(150, 600, 11);
+  const Reordering r = ComputeReordering(g, Method::kRcm);
+  ExpectValidReordering(r, g.num_nodes());
+}
+
+TEST(ReorderTest, RcmReducesBandwidthOnPath) {
+  // On a path graph RCM recovers a consecutive layout: every edge connects
+  // adjacent positions.
+  graph::GraphBuilder builder(50);
+  // Scramble the ids so the input order is not already optimal.
+  for (NodeId u = 0; u + 1 < 50; ++u) {
+    builder.AddUndirectedEdge(static_cast<NodeId>((u * 17) % 50),
+                              static_cast<NodeId>(((u + 1) * 17) % 50));
+  }
+  const graph::Graph g = std::move(builder).Build();
+  const Reordering r = ComputeReordering(g, Method::kRcm);
+  NodeId max_bandwidth = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : g.OutNeighbors(u)) {
+      const NodeId d = std::abs(r.new_of_old[static_cast<std::size_t>(u)] -
+                                r.new_of_old[static_cast<std::size_t>(nb.node)]);
+      max_bandwidth = std::max(max_bandwidth, d);
+    }
+  }
+  EXPECT_LE(max_bandwidth, 2);
+}
+
+TEST(ReorderTest, MethodNames) {
+  EXPECT_EQ(MethodName(Method::kIdentity), "Identity");
+  EXPECT_EQ(MethodName(Method::kRandom), "Random");
+  EXPECT_EQ(MethodName(Method::kDegree), "Degree");
+  EXPECT_EQ(MethodName(Method::kCluster), "Cluster");
+  EXPECT_EQ(MethodName(Method::kHybrid), "Hybrid");
+  EXPECT_EQ(MethodName(Method::kRcm), "RCM");
+}
+
+}  // namespace
+}  // namespace kdash::reorder

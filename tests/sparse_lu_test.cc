@@ -1,0 +1,136 @@
+#include "lu/sparse_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "linalg/dense_matrix.h"
+#include "sparse/coo_builder.h"
+#include "test_util.h"
+
+namespace kdash::lu {
+namespace {
+
+using sparse::CooBuilder;
+using sparse::CscMatrix;
+
+TEST(BuildRwrSystemMatrixTest, Definition) {
+  // W = I - (1-c)A entrywise.
+  CooBuilder builder(3, 3);
+  builder.Add(1, 0, 0.6);
+  builder.Add(2, 0, 0.4);
+  builder.Add(0, 1, 1.0);
+  builder.Add(1, 2, 0.5);
+  builder.Add(2, 2, 0.5);  // self transition
+  const CscMatrix a = builder.BuildCsc();
+  const CscMatrix w = BuildRwrSystemMatrix(a, 0.9);
+  EXPECT_NEAR(w.At(0, 0), 1.0, 1e-15);
+  EXPECT_NEAR(w.At(1, 0), -0.1 * 0.6, 1e-15);
+  EXPECT_NEAR(w.At(2, 0), -0.1 * 0.4, 1e-15);
+  EXPECT_NEAR(w.At(0, 1), -0.1, 1e-15);
+  EXPECT_NEAR(w.At(2, 2), 1.0 - 0.1 * 0.5, 1e-15);
+}
+
+TEST(SparseLuTest, IdentityFactorsTrivially) {
+  CooBuilder builder(4, 4);
+  for (NodeId i = 0; i < 4; ++i) builder.Add(i, i, 1.0);
+  const CscMatrix identity = builder.BuildCsc();
+  const LuFactors factors = FactorizeLu(identity);
+  EXPECT_EQ(factors.lower.nnz(), 4);
+  EXPECT_EQ(factors.upper.nnz(), 4);
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(factors.lower.At(i, i), 1.0);
+    EXPECT_DOUBLE_EQ(factors.upper.At(i, i), 1.0);
+  }
+}
+
+TEST(SparseLuTest, KnownSmallFactorization) {
+  // W = [2 1; 1 3]: L = [1 0; 0.5 1], U = [2 1; 0 2.5].
+  CooBuilder builder(2, 2);
+  builder.Add(0, 0, 2.0);
+  builder.Add(1, 0, 1.0);
+  builder.Add(0, 1, 1.0);
+  builder.Add(1, 1, 3.0);
+  const LuFactors factors = FactorizeLu(builder.BuildCsc());
+  EXPECT_DOUBLE_EQ(factors.lower.At(1, 0), 0.5);
+  EXPECT_DOUBLE_EQ(factors.upper.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(factors.upper.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(factors.upper.At(1, 1), 2.5);
+}
+
+TEST(SparseLuTest, FactorsAreTriangularWithUnitLowerDiagonal) {
+  const auto g = test::RandomDirectedGraph(60, 400, 3);
+  const CscMatrix w = BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.9);
+  const LuFactors factors = FactorizeLu(w);
+  for (NodeId j = 0; j < w.cols(); ++j) {
+    for (Index k = factors.lower.ColBegin(j); k < factors.lower.ColEnd(j); ++k) {
+      EXPECT_GE(factors.lower.RowIndex(k), j);
+    }
+    EXPECT_DOUBLE_EQ(factors.lower.At(j, j), 1.0);
+    for (Index k = factors.upper.ColBegin(j); k < factors.upper.ColEnd(j); ++k) {
+      EXPECT_LE(factors.upper.RowIndex(k), j);
+    }
+    EXPECT_NE(factors.upper.At(j, j), 0.0);
+  }
+}
+
+class LuReconstructionTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(LuReconstructionTest, LTimesUEqualsW) {
+  const auto [n, m, c] = GetParam();
+  const auto g = test::RandomDirectedGraph(static_cast<NodeId>(n),
+                                           static_cast<Index>(m),
+                                           static_cast<std::uint64_t>(n * m));
+  const CscMatrix w = BuildRwrSystemMatrix(g.NormalizedAdjacency(), c);
+  const LuFactors factors = FactorizeLu(w);
+
+  const auto dense_l = test::ToDense(factors.lower);
+  const auto dense_u = test::ToDense(factors.upper);
+  const auto product = linalg::MatMul(dense_l, dense_u);
+  const auto dense_w = test::ToDense(w);
+  EXPECT_LT(test::MaxAbsDiff(product, dense_w), 1e-12)
+      << "n=" << n << " m=" << m << " c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LuReconstructionTest,
+    ::testing::Values(std::make_tuple(10, 30, 0.95),
+                      std::make_tuple(25, 120, 0.95),
+                      std::make_tuple(40, 300, 0.9),
+                      std::make_tuple(60, 200, 0.5),
+                      std::make_tuple(80, 700, 0.99),
+                      std::make_tuple(50, 50, 0.95),
+                      std::make_tuple(30, 600, 0.2)));
+
+TEST(SparseLuTest, SolvesMatchDenseInverse) {
+  // W x = e_j solved via the factors must equal column j of the dense
+  // inverse.
+  const auto g = test::RandomDirectedGraph(25, 120, 7);
+  const CscMatrix w = BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.9);
+  const LuFactors factors = FactorizeLu(w);
+  const auto dense_w = test::ToDense(w);
+  const auto w_inv = linalg::InvertDense(dense_w);
+
+  const auto dense_l = test::ToDense(factors.lower);
+  const auto dense_u = test::ToDense(factors.upper);
+  const auto lu_product = linalg::MatMul(dense_l, dense_u);
+  const auto lu_inv = linalg::InvertDense(lu_product);
+  EXPECT_LT(test::MaxAbsDiff(lu_inv, w_inv), 1e-10);
+}
+
+TEST(SparseLuTest, DiagonalDominanceKeepsPivotsLarge) {
+  // All pivots of W = I - (1-c)A must stay ≥ c (Gershgorin-style bound),
+  // which is what makes pivot-free LU safe for RWR systems.
+  const auto g = test::RandomDirectedGraph(100, 800, 11);
+  const Scalar c = 0.8;
+  const CscMatrix w = BuildRwrSystemMatrix(g.NormalizedAdjacency(), c);
+  const LuFactors factors = FactorizeLu(w);
+  for (NodeId j = 0; j < w.cols(); ++j) {
+    EXPECT_GE(factors.upper.At(j, j), c - 1e-12) << "pivot " << j;
+  }
+}
+
+}  // namespace
+}  // namespace kdash::lu

@@ -1,0 +1,91 @@
+// Shared helpers for the test suite.
+#ifndef KDASH_TESTS_TEST_UTIL_H_
+#define KDASH_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "sparse/csc_matrix.h"
+
+namespace kdash::test {
+
+// Small deterministic directed graph used across unit tests:
+//
+//      0 → 1 → 3
+//      0 → 2 → 3 → 4
+//      4 → 0        (cycle back)
+//      2 → 1
+inline graph::Graph SmallDirectedGraph() {
+  graph::GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(2, 1);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 0);
+  return std::move(builder).Build();
+}
+
+// The example graph of Figure 8 in the paper (u1..u7 → ids 0..6), matching
+// the appendix walk-through: BFS from u1 puts u2,u3 on layer 1, u4,u5 on
+// layer 2, u6,u7 on layer 3, and u5's in-edges come from u2, u4, u6 only
+// (A52, A54, A56 ≠ 0; A51, A53, A57 = 0).
+inline graph::Graph Figure8Graph() {
+  graph::GraphBuilder builder(7);
+  builder.AddEdge(0, 1);  // u1→u2 (layer 1)
+  builder.AddEdge(0, 2);  // u1→u3 (layer 1)
+  builder.AddEdge(1, 3);  // u2→u4 (layer 2)
+  builder.AddEdge(1, 4);  // u2→u5 (layer 2), A52 ≠ 0
+  builder.AddEdge(2, 3);  // u3→u4
+  builder.AddEdge(3, 5);  // u4→u6 (layer 3)
+  builder.AddEdge(3, 4);  // u4→u5, same-layer non-tree edge, A54 ≠ 0
+  builder.AddEdge(5, 4);  // u6→u5, upward non-tree edge,   A56 ≠ 0
+  builder.AddEdge(4, 6);  // u5→u7 (layer 3)
+  return std::move(builder).Build();
+}
+
+// Uniform random directed graph (simple, no self loops) for property tests.
+inline graph::Graph RandomDirectedGraph(NodeId n, Index m, std::uint64_t seed) {
+  Rng rng(seed);
+  graph::GraphBuilder builder(n);
+  Index added = 0;
+  while (added < m) {
+    const NodeId u = rng.NextNode(n);
+    const NodeId v = rng.NextNode(n);
+    if (u == v) continue;
+    builder.AddEdge(u, v, 0.25 + rng.NextDouble());
+    ++added;
+  }
+  return std::move(builder).Build();
+}
+
+// Dense materialization of a sparse matrix for reference comparisons.
+inline linalg::DenseMatrix ToDense(const sparse::CscMatrix& a) {
+  linalg::DenseMatrix d(a.rows(), a.cols());
+  for (NodeId col = 0; col < a.cols(); ++col) {
+    for (Index k = a.ColBegin(col); k < a.ColEnd(col); ++k) {
+      d(a.RowIndex(k), static_cast<int>(col)) = a.Value(k);
+    }
+  }
+  return d;
+}
+
+// Max |A - B| entrywise.
+inline Scalar MaxAbsDiff(const linalg::DenseMatrix& a,
+                         const linalg::DenseMatrix& b) {
+  Scalar worst = 0.0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::abs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace kdash::test
+
+#endif  // KDASH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,104 @@
+#include "common/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kdash {
+namespace {
+
+TEST(TopKHeapTest, ThresholdIsZeroUntilFull) {
+  TopKHeap heap(3);
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.0);
+  heap.Push(0, 0.5);
+  heap.Push(1, 0.9);
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.0);
+  EXPECT_FALSE(heap.Full());
+  heap.Push(2, 0.1);
+  EXPECT_TRUE(heap.Full());
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.1);
+}
+
+TEST(TopKHeapTest, KeepsHighestK) {
+  TopKHeap heap(2);
+  heap.Push(0, 0.3);
+  heap.Push(1, 0.7);
+  heap.Push(2, 0.5);
+  heap.Push(3, 0.9);
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].node, 3);
+  EXPECT_DOUBLE_EQ(sorted[0].score, 0.9);
+  EXPECT_EQ(sorted[1].node, 1);
+  EXPECT_DOUBLE_EQ(sorted[1].score, 0.7);
+}
+
+TEST(TopKHeapTest, TieBrokenByLowerNodeId) {
+  TopKHeap heap(2);
+  heap.Push(5, 0.5);
+  heap.Push(3, 0.5);
+  heap.Push(9, 0.5);
+  const auto sorted = heap.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].node, 3);
+  EXPECT_EQ(sorted[1].node, 5);
+}
+
+TEST(TopKHeapTest, ThresholdMonotonicallyNonDecreasing) {
+  Rng rng(7);
+  TopKHeap heap(5);
+  Scalar last = heap.Threshold();
+  for (int i = 0; i < 200; ++i) {
+    heap.Push(static_cast<NodeId>(i), rng.NextDouble());
+    EXPECT_GE(heap.Threshold(), last);
+    last = heap.Threshold();
+  }
+}
+
+TEST(TopKHeapTest, MatchesFullSortReference) {
+  Rng rng(11);
+  std::vector<Scalar> scores(300);
+  for (auto& s : scores) s = rng.NextDouble();
+  // A few deliberate duplicates to exercise tie-breaking.
+  scores[100] = scores[7];
+  scores[200] = scores[7];
+
+  for (const std::size_t k : {1u, 5u, 17u, 300u, 500u}) {
+    const auto got = TopKOfVector(scores, k);
+    std::vector<ScoredNode> all;
+    for (std::size_t u = 0; u < scores.size(); ++u) {
+      all.push_back({static_cast<NodeId>(u), scores[u]});
+    }
+    std::sort(all.begin(), all.end(), RanksHigher);
+    all.resize(std::min(k, all.size()));
+    ASSERT_EQ(got.size(), all.size()) << "k=" << k;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(got[i].node, all[i].node) << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ(got[i].score, all[i].score);
+    }
+  }
+}
+
+TEST(TopKHeapTest, SortedDoesNotModifyHeap) {
+  TopKHeap heap(2);
+  heap.Push(1, 0.4);
+  heap.Push(2, 0.6);
+  const auto first = heap.Sorted();
+  const auto second = heap.Sorted();
+  EXPECT_EQ(first.size(), second.size());
+  EXPECT_EQ(first[0], second[0]);
+  EXPECT_DOUBLE_EQ(heap.Threshold(), 0.4);
+}
+
+TEST(ScoredNodeTest, RanksHigherOrdersByScoreThenId) {
+  EXPECT_TRUE(RanksHigher({1, 0.9}, {2, 0.5}));
+  EXPECT_FALSE(RanksHigher({1, 0.5}, {2, 0.9}));
+  EXPECT_TRUE(RanksHigher({1, 0.5}, {2, 0.5}));
+  EXPECT_FALSE(RanksHigher({2, 0.5}, {1, 0.5}));
+}
+
+}  // namespace
+}  // namespace kdash

@@ -1,0 +1,154 @@
+#include "lu/triangular.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "linalg/dense_matrix.h"
+#include "lu/sparse_lu.h"
+#include "test_util.h"
+
+namespace kdash::lu {
+namespace {
+
+using sparse::CscMatrix;
+
+LuFactors FactorsOfRandomRwr(NodeId n, Index m, Scalar c, std::uint64_t seed) {
+  const auto g = test::RandomDirectedGraph(n, m, seed);
+  return FactorizeLu(BuildRwrSystemMatrix(g.NormalizedAdjacency(), c));
+}
+
+TEST(TriangularSolveTest, LowerSolveMatchesDense) {
+  const LuFactors factors = FactorsOfRandomRwr(30, 150, 0.9, 1);
+  Rng rng(2);
+  std::vector<Scalar> b(30);
+  for (auto& v : b) v = rng.NextDouble() - 0.5;
+  auto x = b;
+  SolveLowerInPlace(factors.lower, x);
+  // Check L x == b.
+  const auto dense_l = test::ToDense(factors.lower);
+  const auto back = linalg::MatVec(dense_l, x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+}
+
+TEST(TriangularSolveTest, UpperSolveMatchesDense) {
+  const LuFactors factors = FactorsOfRandomRwr(30, 150, 0.9, 3);
+  Rng rng(4);
+  std::vector<Scalar> b(30);
+  for (auto& v : b) v = rng.NextDouble() - 0.5;
+  auto x = b;
+  SolveUpperInPlace(factors.upper, x);
+  const auto dense_u = test::ToDense(factors.upper);
+  const auto back = linalg::MatVec(dense_u, x);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(back[i], b[i], 1e-12);
+}
+
+TEST(TriangularInverseTest, LowerInverseTimesLowerIsIdentity) {
+  const LuFactors factors = FactorsOfRandomRwr(40, 250, 0.95, 5);
+  const CscMatrix l_inv = InvertLowerTriangular(factors.lower);
+  const auto product =
+      linalg::MatMul(test::ToDense(factors.lower), test::ToDense(l_inv));
+  EXPECT_LT(test::MaxAbsDiff(product, linalg::DenseMatrix::Identity(40)), 1e-12);
+}
+
+TEST(TriangularInverseTest, UpperInverseTimesUpperIsIdentity) {
+  const LuFactors factors = FactorsOfRandomRwr(40, 250, 0.95, 6);
+  const CscMatrix u_inv = InvertUpperTriangular(factors.upper);
+  const auto product =
+      linalg::MatMul(test::ToDense(factors.upper), test::ToDense(u_inv));
+  EXPECT_LT(test::MaxAbsDiff(product, linalg::DenseMatrix::Identity(40)), 1e-12);
+}
+
+TEST(TriangularInverseTest, InversesStayTriangular) {
+  // Eq. 4–5 of the paper: L⁻¹ is lower triangular, U⁻¹ upper triangular.
+  const LuFactors factors = FactorsOfRandomRwr(50, 300, 0.9, 7);
+  const CscMatrix l_inv = InvertLowerTriangular(factors.lower);
+  const CscMatrix u_inv = InvertUpperTriangular(factors.upper);
+  for (NodeId j = 0; j < 50; ++j) {
+    for (Index k = l_inv.ColBegin(j); k < l_inv.ColEnd(j); ++k) {
+      EXPECT_GE(l_inv.RowIndex(k), j);
+    }
+    for (Index k = u_inv.ColBegin(j); k < u_inv.ColEnd(j); ++k) {
+      EXPECT_LE(u_inv.RowIndex(k), j);
+    }
+  }
+}
+
+TEST(TriangularInverseTest, PaperEquation4Recurrence) {
+  // Spot-check Eq. 4: L⁻¹(i,i) = 1/L(i,i) and
+  // L⁻¹(i,j) = -1/L(i,i) Σ_{k=j..i-1} L(i,k) L⁻¹(k,j) for i > j.
+  const LuFactors factors = FactorsOfRandomRwr(20, 100, 0.9, 8);
+  const CscMatrix l_inv = InvertLowerTriangular(factors.lower);
+  const auto l = test::ToDense(factors.lower);
+  const auto linv = test::ToDense(l_inv);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(linv(i, i), 1.0 / l(i, i), 1e-12);
+    for (int j = 0; j < i; ++j) {
+      Scalar sum = 0.0;
+      for (int k = j; k < i; ++k) sum += l(i, k) * linv(k, j);
+      EXPECT_NEAR(linv(i, j), -sum / l(i, i), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(TriangularInverseTest, DropToleranceReducesNnzKeepsDiagonal) {
+  const LuFactors factors = FactorsOfRandomRwr(200, 1600, 0.95, 9);
+  const CscMatrix exact = InvertLowerTriangular(factors.lower, 0.0);
+  const CscMatrix dropped = InvertLowerTriangular(factors.lower, 1e-6);
+  EXPECT_LT(dropped.nnz(), exact.nnz());
+  for (NodeId j = 0; j < 200; ++j) {
+    EXPECT_NE(dropped.At(j, j), 0.0) << "diagonal dropped at " << j;
+  }
+  // Every kept entry must match the exact inverse (dropping only removes).
+  for (NodeId j = 0; j < 200; ++j) {
+    for (Index k = dropped.ColBegin(j); k < dropped.ColEnd(j); ++k) {
+      EXPECT_DOUBLE_EQ(dropped.Value(k), exact.At(dropped.RowIndex(k), j));
+    }
+  }
+}
+
+TEST(TriangularInverseTest, CompositionGivesSystemInverse) {
+  // c · U⁻¹ L⁻¹ e_q must equal the RWR proximity vector (Eq. 3).
+  const NodeId n = 35;
+  const auto g = test::RandomDirectedGraph(n, 200, 10);
+  const auto a = g.NormalizedAdjacency();
+  const Scalar c = 0.9;
+  const LuFactors factors = FactorizeLu(BuildRwrSystemMatrix(a, c));
+  const CscMatrix l_inv = InvertLowerTriangular(factors.lower);
+  const CscMatrix u_inv = InvertUpperTriangular(factors.upper);
+
+  const auto w_inv_dense = linalg::MatMul(test::ToDense(u_inv), test::ToDense(l_inv));
+  const auto w_dense = test::ToDense(BuildRwrSystemMatrix(a, c));
+  const auto product = linalg::MatMul(w_dense, w_inv_dense);
+  EXPECT_LT(test::MaxAbsDiff(product, linalg::DenseMatrix::Identity(n)), 1e-11);
+}
+
+class TriangularRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TriangularRoundTripTest, SolveThenMultiplyIsIdentity) {
+  const auto [n, c] = GetParam();
+  const LuFactors factors = FactorsOfRandomRwr(
+      static_cast<NodeId>(n), static_cast<Index>(6 * n), c,
+      static_cast<std::uint64_t>(n));
+  Rng rng(static_cast<std::uint64_t>(n) + 99);
+  std::vector<Scalar> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.NextDouble();
+  auto x = b;
+  SolveLowerInPlace(factors.lower, x);
+  SolveUpperInPlace(factors.upper, x);
+  // Multiply back: W x = L (U x).
+  const auto dense_l = test::ToDense(factors.lower);
+  const auto dense_u = test::ToDense(factors.upper);
+  const auto ux = linalg::MatVec(dense_u, x);
+  const auto lux = linalg::MatVec(dense_l, ux);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(lux[i], b[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TriangularRoundTripTest,
+                         ::testing::Combine(::testing::Values(10, 40, 120),
+                                            ::testing::Values(0.5, 0.9, 0.99)));
+
+}  // namespace
+}  // namespace kdash::lu

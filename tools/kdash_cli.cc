@@ -1,0 +1,216 @@
+// Command-line front end for the K-dash library.
+//
+//   kdash_cli build <edges.txt> <index.kdash> [--c=0.95] [--reorder=hybrid]
+//                   [--undirected]
+//       Reads a `src dst [weight]` edge list, precomputes the index, and
+//       writes it to disk.
+//
+//   kdash_cli query <index.kdash> <node> [<node> ...] [--k=5]
+//       Loads an index and prints the exact top-k for each query node.
+//       Multiple nodes with --personalized run one restart-set query.
+//
+//   kdash_cli stats <index.kdash>
+//       Prints the index's size and precompute accounting.
+//
+//   kdash_cli generate <dataset> <edges.txt> [--scale=1.0] [--seed=42]
+//       Writes one of the synthetic dataset stand-ins as an edge list
+//       (dictionary | internet | citation | social | email).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+#include "datasets/datasets.h"
+#include "graph/io.h"
+
+namespace kdash {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  kdash_cli build <edges.txt> <index.kdash> [--c=0.95]\n"
+      "            [--reorder=hybrid|cluster|degree|random|identity]\n"
+      "            [--undirected]\n"
+      "  kdash_cli query <index.kdash> <node> [<node>...] [--k=5]\n"
+      "            [--personalized]\n"
+      "  kdash_cli stats <index.kdash>\n"
+      "  kdash_cli generate <dictionary|internet|citation|social|email>\n"
+      "            <edges.txt> [--scale=1.0] [--seed=42]\n");
+  return 2;
+}
+
+bool FlagValue(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseReorder(const std::string& name, reorder::Method* method) {
+  if (name == "hybrid") *method = reorder::Method::kHybrid;
+  else if (name == "cluster") *method = reorder::Method::kCluster;
+  else if (name == "degree") *method = reorder::Method::kDegree;
+  else if (name == "random") *method = reorder::Method::kRandom;
+  else if (name == "identity") *method = reorder::Method::kIdentity;
+  else return false;
+  return true;
+}
+
+int CmdBuild(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  core::KDashOptions options;
+  bool undirected = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    std::string value;
+    if (FlagValue(args[i], "--c", &value)) {
+      options.restart_prob = std::atof(value.c_str());
+    } else if (FlagValue(args[i], "--reorder", &value)) {
+      if (!ParseReorder(value, &options.reorder_method)) return Usage();
+    } else if (args[i] == "--undirected") {
+      undirected = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  WallTimer timer;
+  const graph::Graph graph = graph::ReadEdgeListFile(args[0], undirected);
+  std::printf("loaded %s: %s (%.2fs)\n", args[0].c_str(),
+              graph::DescribeGraph(graph).c_str(), timer.Seconds());
+
+  timer.Restart();
+  const auto index = core::KDashIndex::Build(graph, options);
+  const auto& stats = index.stats();
+  std::printf(
+      "built index in %.2fs (reorder %.2fs, LU %.2fs, inverses %.2fs)\n",
+      stats.total_seconds, stats.reorder_seconds, stats.lu_seconds,
+      stats.inverse_seconds);
+  std::printf("nnz: L=%lld U=%lld L^-1=%lld U^-1=%lld, partitions=%d\n",
+              static_cast<long long>(stats.nnz_lower),
+              static_cast<long long>(stats.nnz_upper),
+              static_cast<long long>(stats.nnz_lower_inverse),
+              static_cast<long long>(stats.nnz_upper_inverse),
+              stats.num_partitions);
+  index.SaveFile(args[1]);
+  std::printf("wrote %s\n", args[1].c_str());
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  std::size_t k = 5;
+  bool personalized = false;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string value;
+    if (FlagValue(args[i], "--k", &value)) {
+      k = static_cast<std::size_t>(std::atoll(value.c_str()));
+    } else if (args[i] == "--personalized") {
+      personalized = true;
+    } else {
+      nodes.push_back(static_cast<NodeId>(std::atoll(args[i].c_str())));
+    }
+  }
+  if (nodes.empty() || k == 0) return Usage();
+
+  const auto index = core::KDashIndex::LoadFile(args[0]);
+  core::KDashSearcher searcher(&index);
+
+  auto print_result = [&](const std::string& label,
+                          const std::vector<ScoredNode>& top,
+                          const core::SearchStats& stats) {
+    std::printf("%s:\n", label.c_str());
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      std::printf("  #%zu node %d proximity %.8f\n", i + 1, top[i].node,
+                  top[i].score);
+    }
+    std::printf("  (visited %d, computed %d proximities, pruned=%s)\n",
+                stats.nodes_visited, stats.proximity_computations,
+                stats.terminated_early ? "yes" : "no");
+  };
+
+  if (personalized) {
+    core::SearchStats stats;
+    const auto top = searcher.TopKPersonalized(nodes, k, {}, &stats);
+    print_result("personalized top-" + std::to_string(k), top, stats);
+  } else {
+    for (const NodeId q : nodes) {
+      core::SearchStats stats;
+      const auto top = searcher.TopK(q, k, {}, &stats);
+      print_result("top-" + std::to_string(k) + " for node " +
+                       std::to_string(q),
+                   top, stats);
+    }
+  }
+  return 0;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Usage();
+  const auto index = core::KDashIndex::LoadFile(args[0]);
+  const auto& stats = index.stats();
+  std::printf("nodes            : %d\n", index.num_nodes());
+  std::printf("restart prob (c) : %.4f\n", index.restart_prob());
+  std::printf("reordering       : %s\n",
+              reorder::MethodName(index.options().reorder_method).c_str());
+  std::printf("drop tolerance   : %g\n", index.options().drop_tolerance);
+  std::printf("nnz L^-1 / U^-1  : %lld / %lld\n",
+              static_cast<long long>(stats.nnz_lower_inverse),
+              static_cast<long long>(stats.nnz_upper_inverse));
+  std::printf("partitions (κ)   : %d\n", stats.num_partitions);
+  std::printf("precompute [s]   : %.3f (reorder %.3f, LU %.3f, inv %.3f)\n",
+              stats.total_seconds, stats.reorder_seconds, stats.lu_seconds,
+              stats.inverse_seconds);
+  return 0;
+}
+
+int CmdGenerate(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    std::string value;
+    if (FlagValue(args[i], "--scale", &value)) {
+      scale = std::atof(value.c_str());
+    } else if (FlagValue(args[i], "--seed", &value)) {
+      seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else {
+      return Usage();
+    }
+  }
+  datasets::DatasetId id;
+  if (args[0] == "dictionary") id = datasets::DatasetId::kDictionary;
+  else if (args[0] == "internet") id = datasets::DatasetId::kInternet;
+  else if (args[0] == "citation") id = datasets::DatasetId::kCitation;
+  else if (args[0] == "social") id = datasets::DatasetId::kSocial;
+  else if (args[0] == "email") id = datasets::DatasetId::kEmail;
+  else return Usage();
+
+  const auto dataset = datasets::MakeDataset(id, scale, seed);
+  graph::WriteEdgeListFile(dataset.graph, args[1]);
+  std::printf("wrote %s: %s\n", args[1].c_str(),
+              graph::DescribeGraph(dataset.graph).c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "build") return CmdBuild(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "generate") return CmdGenerate(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main(int argc, char** argv) { return kdash::Main(argc, argv); }
