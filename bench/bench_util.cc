@@ -1,6 +1,7 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -63,6 +64,65 @@ double PrecisionAtK(const std::vector<ScoredNode>& approx,
     }
   }
   return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') out.push_back('\\');
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::Add(const std::string& key, double value) {
+  char buffer[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "null");  // inf/nan: invalid JSON
+  }
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + JsonEscape(key) + "\":" + buffer;
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, Index value) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + JsonEscape(key) + "\":" + std::to_string(value);
+  return *this;
+}
+
+JsonObject& JsonObject::Add(const std::string& key, int value) {
+  return Add(key, static_cast<Index>(value));
+}
+
+JsonObject& JsonObject::Add(const std::string& key, const std::string& value) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+  return *this;
+}
+
+std::string JsonObject::str() const { return "{" + body_ + "}"; }
+
+void PrintJsonRecords(const std::string& bench_name,
+                      const std::vector<JsonObject>& records) {
+  std::string out = "{\"bench\":\"" + JsonEscape(bench_name) + "\",\"scale\":";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", BenchScale());
+  out += buffer;
+  out += ",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out += ",";
+    out += records[i].str();
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
 }
 
 void PrintBenchHeader(const std::string& title, const std::string& what) {

@@ -39,6 +39,30 @@ double MedianSeconds(const std::function<void()>& fn, int repetitions);
 double PrecisionAtK(const std::vector<ScoredNode>& approx,
                     const std::vector<ScoredNode>& truth, std::size_t k);
 
+// ---- JSON emission --------------------------------------------------------
+
+// Flat JSON object built field by field; numbers are printed with enough
+// digits to round-trip a double. Used by benches that emit machine-readable
+// records (so future PRs can diff perf trajectories).
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, double value);
+  JsonObject& Add(const std::string& key, Index value);
+  JsonObject& Add(const std::string& key, int value);
+  JsonObject& Add(const std::string& key, const std::string& value);
+
+  // The serialized object, e.g. {"threads":4,"qps":123.5}.
+  std::string str() const;
+
+ private:
+  std::string body_;
+};
+
+// Prints {"bench":<name>,"scale":<BenchScale()>,"records":[...]} on one
+// line, making bench output grep-able between human-readable tables.
+void PrintJsonRecords(const std::string& bench_name,
+                      const std::vector<JsonObject>& records);
+
 // ---- table printing -------------------------------------------------------
 
 // Prints "== title ==" plus a context line (scale, machine note).

@@ -101,6 +101,59 @@ void BM_TriangularSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_TriangularSolve)->Arg(1000)->Arg(4000);
 
+void BM_TriangularInvert(benchmark::State& state) {
+  // The parallelized precompute stage, isolated. Arg is the thread count.
+  const auto g = BenchGraph(2000);
+  const auto index_order =
+      reorder::ComputeReordering(g, reorder::Method::kHybrid);
+  const auto a =
+      sparse::PermuteSymmetric(g.NormalizedAdjacency(), index_order.new_of_old);
+  const auto factors = lu::FactorizeLu(lu::BuildRwrSystemMatrix(a, 0.95));
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto inv = lu::InvertLowerTriangular(factors.lower, 0.0, threads);
+    benchmark::DoNotOptimize(inv.nnz());
+  }
+}
+BENCHMARK(BM_TriangularInvert)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ProximityRowDot(benchmark::State& state) {
+  // The dense-gather side of the adaptive proximity kernel: U⁻¹ row · y
+  // with y scattered dense. Arg is the graph size.
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto index = core::KDashIndex::Build(g, {});
+  const auto& uinv = index.upper_inverse();
+  std::vector<Scalar> y(static_cast<std::size_t>(index.num_nodes()), 0.01);
+  Rng rng(3);
+  Scalar acc = 0.0;
+  for (auto _ : state) {
+    acc += uinv.RowDot(rng.NextNode(index.num_nodes()), y);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ProximityRowDot)->Arg(1000)->Arg(4000);
+
+void BM_ProximityRowDotSparse(benchmark::State& state) {
+  // The sparse-intersection side: same rows, y restricted to a small
+  // support (every 64th node), the shape a short L⁻¹ column produces.
+  const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
+  const auto index = core::KDashIndex::Build(g, {});
+  const auto& uinv = index.upper_inverse();
+  std::vector<Scalar> y(static_cast<std::size_t>(index.num_nodes()), 0.0);
+  std::vector<NodeId> support;
+  for (NodeId i = 0; i < index.num_nodes(); i += 64) {
+    support.push_back(i);
+    y[static_cast<std::size_t>(i)] = 0.01;
+  }
+  Rng rng(3);
+  Scalar acc = 0.0;
+  for (auto _ : state) {
+    acc += uinv.RowDotSparse(rng.NextNode(index.num_nodes()), y, support);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ProximityRowDotSparse)->Arg(1000)->Arg(4000);
+
 void BM_KDashQuery(benchmark::State& state) {
   const auto g = BenchGraph(static_cast<NodeId>(state.range(0)));
   const auto index = core::KDashIndex::Build(g, {});

@@ -1,0 +1,83 @@
+// Thread-scaling of the two parallelized paths: the precompute's explicit
+// triangular inversion (the Figure 6 axis) and batch query serving through
+// the persistent SearcherPool (the Figure 2 axis). Prints a human-readable
+// table plus one machine-readable JSON line per axis so future changes have
+// a perf trajectory to compare against.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/random.h"
+#include "core/batch.h"
+#include "core/kdash_index.h"
+#include "graph/generators.h"
+#include "lu/sparse_lu.h"
+#include "lu/triangular.h"
+#include "reorder/reorder.h"
+#include "sparse/permute.h"
+
+namespace kdash::bench {
+namespace {
+
+int Main() {
+  const auto n = static_cast<NodeId>(8000 * BenchScale());
+  PrintBenchHeader("Parallel scaling: precompute + batch serving",
+                   "threads x {inverse-build seconds, batch QPS}; "
+                   "hardware threads: " + std::to_string(DefaultNumThreads()));
+
+  Rng rng(42);
+  const auto graph =
+      graph::PowerLawCluster(n, 6, 0.6, /*directed=*/true, 0.4, rng);
+
+  // The inversion input: factors of the reordered RWR system matrix,
+  // exactly as KDashIndex::Build produces them.
+  const auto order = reorder::ComputeReordering(graph, reorder::Method::kHybrid);
+  const auto a_perm =
+      sparse::PermuteSymmetric(graph.NormalizedAdjacency(), order.new_of_old);
+  const auto factors = lu::FactorizeLu(lu::BuildRwrSystemMatrix(a_perm, 0.95));
+
+  const auto index = core::KDashIndex::Build(graph, {});
+  const auto queries = SampleQueries(graph, 256);
+
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  PrintTableHeader({"threads", "invert_sec", "speedup", "batch_qps", "qps_x"});
+
+  std::vector<JsonObject> records;
+  double invert_base = 0.0;
+  double qps_base = 0.0;
+  for (const int threads : thread_counts) {
+    const double invert_seconds = MedianSeconds(
+        [&] {
+          lu::InvertLowerTriangular(factors.lower, 0.0, threads);
+          lu::InvertUpperTriangular(factors.upper, 0.0, threads);
+        },
+        3);
+
+    core::SearcherPool pool(&index, threads);
+    const double batch_seconds = MedianSeconds(
+        [&] { pool.TopKBatch(queries, 10); }, 3);
+    const double qps = static_cast<double>(queries.size()) / batch_seconds;
+
+    if (threads == 1) {
+      invert_base = invert_seconds;
+      qps_base = qps;
+    }
+    PrintTableRow("t=" + std::to_string(threads),
+                  {static_cast<double>(threads), invert_seconds,
+                   invert_base / invert_seconds, qps, qps / qps_base});
+    records.push_back(JsonObject()
+                          .Add("threads", threads)
+                          .Add("index_build_seconds", invert_seconds)
+                          .Add("index_build_speedup", invert_base / invert_seconds)
+                          .Add("batch_qps", qps)
+                          .Add("batch_qps_speedup", qps / qps_base));
+  }
+  PrintJsonRecords("parallel_scaling", records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kdash::bench
+
+int main() { return kdash::bench::Main(); }

@@ -1,0 +1,95 @@
+// Shared parallel-execution layer.
+//
+// One fixed pool of worker threads serves both the build path (parallel
+// triangular inversion) and the serve path (batch querying). The calling
+// thread always participates as rank 0, so a pool of size T spawns T-1
+// threads and delivers exactly T concurrent executors with no idle caller.
+//
+// Determinism contract: ParallelFor hands out [begin, end) in chunks of at
+// most `grain` via an atomic cursor. Which *rank* runs which chunk is
+// nondeterministic, but the chunk boundaries themselves are fixed
+// (begin, begin+grain, begin+2·grain, …), so any computation whose output
+// per chunk depends only on the chunk — not on the rank or on execution
+// order — is bit-reproducible across runs and across thread counts.
+#ifndef KDASH_COMMON_PARALLEL_H_
+#define KDASH_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace kdash {
+
+namespace internal {
+// Parses a KDASH_NUM_THREADS-style value: returns the thread count in
+// [1, 1024], or 0 when `text` is null, empty, non-numeric, or out of range
+// (meaning "fall back to hardware concurrency"). Exposed for tests.
+int ParseNumThreads(const char* text);
+}  // namespace internal
+
+// The process-default thread count: the KDASH_NUM_THREADS environment
+// variable when set to a valid positive integer, otherwise
+// std::thread::hardware_concurrency() (at least 1).
+int DefaultNumThreads();
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 means DefaultNumThreads(). A pool of size 1 runs
+  // everything inline on the caller and spawns nothing.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Invokes fn(rank) once per rank in [0, num_threads()) concurrently and
+  // blocks until every invocation returns; rank 0 runs on the calling
+  // thread. Submissions from different threads are serialized; calling
+  // back into the same pool from inside fn deadlocks (not reentrant).
+  // The first exception thrown by any rank is rethrown on the caller.
+  void RunOnAllThreads(const std::function<void(int)>& fn);
+
+  // Dynamically-scheduled parallel loop over [begin, end): workers pull
+  // chunks of at most `grain` indices and call fn(chunk_begin, chunk_end,
+  // rank). Chunk boundaries are deterministic (see header comment); chunk
+  // → rank assignment is not. grain <= 0 is treated as 1.
+  void ParallelFor(Index begin, Index end, Index grain,
+                   const std::function<void(Index, Index, int)>& fn);
+
+  // Lazily-constructed process-wide pool of DefaultNumThreads() workers.
+  // Sized once at first use; later changes to KDASH_NUM_THREADS are
+  // ignored by this instance (construct a local ThreadPool instead).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop(int rank);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // Serializes concurrent RunOnAllThreads calls from different threads.
+  std::mutex submit_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Convenience: ParallelFor on the shared pool.
+void ParallelFor(Index begin, Index end, Index grain,
+                 const std::function<void(Index, Index, int)>& fn);
+
+}  // namespace kdash
+
+#endif  // KDASH_COMMON_PARALLEL_H_

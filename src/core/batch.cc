@@ -1,47 +1,94 @@
 #include "core/batch.h"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "common/check.h"
 
 namespace kdash::core {
+
+SearcherPool::SearcherPool(const KDashIndex* index, int num_threads)
+    : index_(index) {
+  KDASH_CHECK(index != nullptr);
+  if (num_threads > 0) {
+    owned_pool_ = std::make_unique<ThreadPool>(num_threads);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = &ThreadPool::Shared();
+  }
+  searchers_.resize(static_cast<std::size_t>(pool_->num_threads()));
+}
+
+void SearcherPool::Dispatch(
+    std::size_t count,
+    const std::function<void(KDashSearcher&, std::size_t)>& fn) {
+  if (count == 0) return;
+  std::atomic<std::size_t> cursor{0};
+  pool_->RunOnAllThreads([&](int rank) {
+    // Each rank touches only its own slot, so lazy creation is race-free.
+    std::unique_ptr<KDashSearcher>& slot =
+        searchers_[static_cast<std::size_t>(rank)];
+    std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;  // more ranks than work: skip searcher creation
+    if (slot == nullptr) slot = std::make_unique<KDashSearcher>(index_);
+    for (; i < count; i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      fn(*slot, i);
+    }
+  });
+}
+
+std::vector<BatchQueryResult> SearcherPool::TopKBatch(
+    const std::vector<NodeId>& queries, std::size_t k,
+    const SearchOptions& options) {
+  std::vector<BatchQueryResult> results(queries.size());
+  Dispatch(queries.size(), [&](KDashSearcher& searcher, std::size_t i) {
+    BatchQueryResult& result = results[i];
+    result.query = queries[i];
+    result.top = searcher.TopK(queries[i], k, options, &result.stats);
+  });
+  return results;
+}
+
+std::vector<PersonalizedBatchResult> SearcherPool::TopKBatchPersonalized(
+    const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
+    const SearchOptions& options) {
+  std::vector<PersonalizedBatchResult> results(source_sets.size());
+  Dispatch(source_sets.size(), [&](KDashSearcher& searcher, std::size_t i) {
+    PersonalizedBatchResult& result = results[i];
+    result.top =
+        searcher.TopKPersonalized(source_sets[i], k, options, &result.stats);
+  });
+  return results;
+}
+
+namespace {
+
+// A transient pool larger than the batch is pure spawn overhead.
+int CapThreadsToWork(int num_threads, std::size_t work) {
+  if (num_threads <= 0) return num_threads;  // 0 = shared pool, keep as is
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads), work));
+}
+
+}  // namespace
 
 std::vector<BatchQueryResult> TopKBatch(const KDashIndex& index,
                                         const std::vector<NodeId>& queries,
                                         std::size_t k,
                                         const SearchOptions& options,
                                         int num_threads) {
-  std::vector<BatchQueryResult> results(queries.size());
-  if (queries.empty()) return results;
+  if (queries.empty()) return {};
+  SearcherPool pool(&index, CapThreadsToWork(num_threads, queries.size()));
+  return pool.TopKBatch(queries, k, options);
+}
 
-  if (num_threads <= 0) {
-    num_threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (num_threads <= 0) num_threads = 1;
-  }
-  num_threads = std::min<int>(num_threads, static_cast<int>(queries.size()));
-
-  std::atomic<std::size_t> cursor{0};
-  auto worker = [&] {
-    KDashSearcher searcher(&index);
-    for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= queries.size()) break;
-      BatchQueryResult& result = results[i];
-      result.query = queries[i];
-      result.top = searcher.TopK(queries[i], k, options, &result.stats);
-    }
-  };
-
-  if (num_threads == 1) {
-    worker();
-    return results;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(num_threads));
-  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker);
-  for (auto& thread : threads) thread.join();
-  return results;
+std::vector<PersonalizedBatchResult> TopKBatchPersonalized(
+    const KDashIndex& index,
+    const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
+    const SearchOptions& options, int num_threads) {
+  if (source_sets.empty()) return {};
+  SearcherPool pool(&index, CapThreadsToWork(num_threads, source_sets.size()));
+  return pool.TopKBatchPersonalized(source_sets, k, options);
 }
 
 }  // namespace kdash::core

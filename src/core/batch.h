@@ -2,13 +2,18 @@
 //
 // The K-dash index is immutable after Build(), so queries parallelize
 // trivially: one KDashSearcher (with its private workspace) per worker
-// thread, queries distributed by an atomic cursor. This is the serving-path
-// companion to the paper's single-query algorithm.
+// rank, queries distributed by an atomic cursor. SearcherPool is the
+// persistent serving front end — it keeps both the thread pool and the
+// per-rank searchers alive across batches, so steady-state serving pays
+// zero thread-spawn or workspace-allocation cost per call. The free
+// functions remain as one-shot conveniences on top of it.
 #ifndef KDASH_CORE_BATCH_H_
 #define KDASH_CORE_BATCH_H_
 
+#include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/top_k.h"
 #include "common/types.h"
 #include "core/kdash_index.h"
@@ -22,14 +27,61 @@ struct BatchQueryResult {
   SearchStats stats;
 };
 
-// Runs TopK for every query, using `num_threads` workers (0 = hardware
-// concurrency, capped at the batch size). Results come back in input
-// order. Deterministic: identical to running the queries sequentially.
+struct PersonalizedBatchResult {
+  std::vector<ScoredNode> top;
+  SearchStats stats;
+};
+
+// Persistent batch-serving pool: a fixed thread pool plus one lazily
+// created KDashSearcher per rank, both reused across calls. num_threads:
+// 0 = borrow the process-wide shared pool (DefaultNumThreads workers),
+// T > 0 = own a dedicated pool of T workers. Results always come back in
+// input order and are identical to running the queries sequentially, for
+// every thread count. Not thread-safe: one SearcherPool per calling thread.
+class SearcherPool {
+ public:
+  // `index` must outlive the pool.
+  explicit SearcherPool(const KDashIndex* index, int num_threads = 0);
+
+  SearcherPool(const SearcherPool&) = delete;
+  SearcherPool& operator=(const SearcherPool&) = delete;
+
+  int num_threads() const { return pool_->num_threads(); }
+
+  // TopK for every query node.
+  std::vector<BatchQueryResult> TopKBatch(const std::vector<NodeId>& queries,
+                                          std::size_t k,
+                                          const SearchOptions& options = {});
+
+  // TopKPersonalized for every restart set (results[i] answers source_sets[i]).
+  std::vector<PersonalizedBatchResult> TopKBatchPersonalized(
+      const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
+      const SearchOptions& options = {});
+
+ private:
+  // Runs fn(searcher, i) for every i in [0, count), work-stealing across
+  // ranks; each rank uses its own persistent searcher.
+  void Dispatch(std::size_t count,
+                const std::function<void(KDashSearcher&, std::size_t)>& fn);
+
+  const KDashIndex* index_;
+  ThreadPool* pool_;                   // owned_pool_ or the shared pool
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::vector<std::unique_ptr<KDashSearcher>> searchers_;  // one per rank
+};
+
+// One-shot convenience: runs the batch on a transient SearcherPool.
+// num_threads as in SearcherPool (0 = shared pool — no threads spawned).
 std::vector<BatchQueryResult> TopKBatch(const KDashIndex& index,
                                         const std::vector<NodeId>& queries,
                                         std::size_t k,
                                         const SearchOptions& options = {},
                                         int num_threads = 0);
+
+std::vector<PersonalizedBatchResult> TopKBatchPersonalized(
+    const KDashIndex& index,
+    const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
+    const SearchOptions& options = {}, int num_threads = 0);
 
 }  // namespace kdash::core
 

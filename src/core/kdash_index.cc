@@ -49,12 +49,12 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
   index.stats_.nnz_lower = factors.lower.nnz();
   index.stats_.nnz_upper = factors.upper.nnz();
 
-  // Step 4: explicit sparse inverses.
+  // Step 4: explicit sparse inverses (parallel across column blocks).
   phase_timer.Restart();
-  index.lower_inverse_ =
-      lu::InvertLowerTriangular(factors.lower, options.drop_tolerance);
-  const sparse::CscMatrix upper_inverse_csc =
-      lu::InvertUpperTriangular(factors.upper, options.drop_tolerance);
+  index.lower_inverse_ = lu::InvertLowerTriangular(
+      factors.lower, options.drop_tolerance, options.num_threads);
+  const sparse::CscMatrix upper_inverse_csc = lu::InvertUpperTriangular(
+      factors.upper, options.drop_tolerance, options.num_threads);
   index.upper_inverse_ = upper_inverse_csc.ToCsr();
   index.stats_.inverse_seconds = phase_timer.Seconds();
   index.stats_.nnz_lower_inverse = index.lower_inverse_.nnz();

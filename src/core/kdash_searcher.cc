@@ -19,8 +19,17 @@ KDashSearcher::KDashSearcher(const KDashIndex* index)
 
 Scalar KDashSearcher::Proximity(NodeId u) const {
   const NodeId reordered = index_->new_of_old()[static_cast<std::size_t>(u)];
-  return index_->restart_prob() *
-         index_->upper_inverse().RowDot(reordered, y_);
+  const sparse::CsrMatrix& uinv = index_->upper_inverse();
+  // Adaptive kernel: y = L⁻¹ q is often far sparser than a U⁻¹ row is long
+  // (a query near the end of the reordering touches a short L⁻¹ column).
+  // When it is, intersecting the row with y's support beats scanning the
+  // whole row. The cutover only depends on the two nnz counts, so the same
+  // query always takes the same path (deterministic scores).
+  const Index y_nnz = static_cast<Index>(y_rows_.size());
+  if (y_nnz * 4 < uinv.RowNnz(reordered)) {
+    return index_->restart_prob() * uinv.RowDotSparse(reordered, y_, y_rows_);
+  }
+  return index_->restart_prob() * uinv.RowDot(reordered, y_);
 }
 
 std::vector<ScoredNode> KDashSearcher::TopK(NodeId query, std::size_t k,
@@ -79,8 +88,15 @@ std::vector<ScoredNode> KDashSearcher::Search(
     for (Index t = linv.ColBegin(reordered); t < col_end; ++t) {
       const NodeId row = linv.RowIndex(t);
       y_[static_cast<std::size_t>(row)] += scatter_weight * linv.Value(t);
-      y_rows_.push_back(row);  // duplicates are fine; cleared idempotently
+      y_rows_.push_back(row);
     }
+  }
+  // The sparse proximity kernel needs y's support sorted and unique, and a
+  // duplicate-free list also avoids redundant clears below. A single source
+  // is one CSC column — already sorted and unique per the CSC invariant.
+  if (sources.size() > 1) {
+    std::sort(y_rows_.begin(), y_rows_.end());
+    y_rows_.erase(std::unique(y_rows_.begin(), y_rows_.end()), y_rows_.end());
   }
 
   // Steps 2–5: lazy breadth-first expansion from the roots interleaved

@@ -98,8 +98,9 @@ class KDashSearcher {
   const KDashIndex* index_;
   ProximityEstimator estimator_;
 
-  // Dense y = L⁻¹ q in reordered space; entries listed in y_rows_ are
-  // live and cleared after each query.
+  // Dense y = L⁻¹ q in reordered space. y_rows_ is y's support, sorted
+  // ascending and duplicate-free — the sparse proximity kernel intersects
+  // it with U⁻¹ rows — and drives the O(nnz) clear after each query.
   std::vector<Scalar> y_;
   std::vector<NodeId> y_rows_;
 

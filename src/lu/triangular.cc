@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace kdash::lu {
 
@@ -43,7 +45,7 @@ void SolveUpperInPlace(const sparse::CscMatrix& upper, std::vector<Scalar>& b) {
 
 namespace {
 
-// Shared column-by-column inverse builder.
+// Column-by-column inverse builder.
 //
 // For the lower case, column j of L⁻¹ solves L x = e_j; the nonzero pattern
 // is the set of nodes reachable from j in the DAG "k → rows below the
@@ -54,6 +56,13 @@ namespace {
 // Entries with |value| <= drop_tolerance are discarded. With
 // drop_tolerance == 0 only exact-zero (cancelled) values are discarded, so
 // the result is the exact inverse.
+//
+// Columns are independent, so Build() farms out fixed blocks of columns to
+// a thread pool; each worker owns a dense workspace and appends its block's
+// columns to a per-block buffer. Assembly is two passes: per-column nnz
+// counts become exact offsets via a prefix sum, then blocks are copied into
+// the final arrays in parallel. ComputeColumn is shared by the sequential
+// and parallel paths, so the output is bit-identical for any thread count.
 class TriangularInverter {
  public:
   TriangularInverter(const sparse::CscMatrix& matrix, bool lower,
@@ -63,79 +72,178 @@ class TriangularInverter {
     KDASH_CHECK(tol_ >= 0.0);
   }
 
-  sparse::CscMatrix Build() {
-    const NodeId n = m_.rows();
-    std::vector<Index> ptr(static_cast<std::size_t>(n) + 1, 0);
-    std::vector<NodeId> rows;
-    std::vector<Scalar> vals;
-    // Dense workspace with an occupancy flag per row.
-    std::vector<Scalar> x(static_cast<std::size_t>(n), 0.0);
-    std::vector<bool> occupied(static_cast<std::size_t>(n), false);
-    std::vector<NodeId> pattern;
+  sparse::CscMatrix Build(int num_threads) {
+    // 0 borrows the process-wide shared pool (no per-call thread spawns);
+    // an explicit T > 1 gets a dedicated pool of that size.
+    if (num_threads <= 0) {
+      ThreadPool& shared = ThreadPool::Shared();
+      if (shared.num_threads() == 1 || m_.cols() < 2) return BuildSequential();
+      return BuildParallel(shared);
+    }
+    if (num_threads == 1 || m_.cols() < 2) return BuildSequential();
+    ThreadPool pool(num_threads);
+    return BuildParallel(pool);
+  }
 
+ private:
+  // Dense per-worker scratch. `x`/`occupied` are full-length and cleared
+  // after every column, so a column costs O(pattern) rather than O(n).
+  struct Workspace {
+    std::vector<Scalar> x;
+    std::vector<bool> occupied;
+    std::vector<NodeId> pattern;
+    std::vector<NodeId> heap;
+
+    void EnsureSize(NodeId n) {
+      if (x.size() == static_cast<std::size_t>(n)) return;
+      x.assign(static_cast<std::size_t>(n), 0.0);
+      occupied.assign(static_cast<std::size_t>(n), false);
+    }
+  };
+
+  // Computes column j of the inverse and appends it (ascending rows, drop
+  // tolerance applied) to rows/vals. Returns the column's kept nnz.
+  Index ComputeColumn(NodeId j, Workspace& ws, std::vector<NodeId>& rows,
+                      std::vector<Scalar>& vals) const {
+    const NodeId n = m_.rows();
+    std::vector<Scalar>& x = ws.x;
+    std::vector<bool>& occupied = ws.occupied;
+    std::vector<NodeId>& pattern = ws.pattern;
     // Min-heap worklist keyed in elimination order: ascending rows for the
     // lower case, descending for the upper case (keys are mirrored so one
     // min-heap serves both). Every row enters the heap exactly once (guarded
     // by `occupied`), so a column with p nonzeros costs O(p log p + flops).
-    std::vector<NodeId> heap;
+    std::vector<NodeId>& heap = ws.heap;
     const auto heap_key = [this, n](NodeId row) {
       return lower_ ? row : static_cast<NodeId>(n - 1 - row);
     };
     const auto heap_cmp = [](NodeId a, NodeId b) { return a > b; };  // min-heap
 
-    for (NodeId j = 0; j < n; ++j) {
-      pattern.clear();
-      x[static_cast<std::size_t>(j)] = 1.0;
-      occupied[static_cast<std::size_t>(j)] = true;
-      heap.clear();
-      heap.push_back(heap_key(j));
+    pattern.clear();
+    x[static_cast<std::size_t>(j)] = 1.0;
+    occupied[static_cast<std::size_t>(j)] = true;
+    heap.clear();
+    heap.push_back(heap_key(j));
 
-      while (!heap.empty()) {
-        std::pop_heap(heap.begin(), heap.end(), heap_cmp);
-        const NodeId k = lower_ ? heap.back()
-                                : static_cast<NodeId>(n - 1 - heap.back());
-        heap.pop_back();
-        pattern.push_back(k);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+      const NodeId k =
+          lower_ ? heap.back() : static_cast<NodeId>(n - 1 - heap.back());
+      heap.pop_back();
+      pattern.push_back(k);
 
-        const Index begin = m_.ColBegin(k);
-        const Index end = m_.ColEnd(k);
-        const Index diag_pos = lower_ ? begin : end - 1;
-        KDASH_DCHECK(m_.RowIndex(diag_pos) == k) << "missing diagonal";
-        const Scalar xk = x[static_cast<std::size_t>(k)] / m_.Value(diag_pos);
-        x[static_cast<std::size_t>(k)] = xk;
-        if (xk == 0.0) continue;
-        const Index lo = lower_ ? begin + 1 : begin;
-        const Index hi = lower_ ? end : end - 1;
-        for (Index t = lo; t < hi; ++t) {
-          const NodeId i = m_.RowIndex(t);
-          x[static_cast<std::size_t>(i)] -= m_.Value(t) * xk;
-          if (!occupied[static_cast<std::size_t>(i)]) {
-            occupied[static_cast<std::size_t>(i)] = true;
-            heap.push_back(heap_key(i));
-            std::push_heap(heap.begin(), heap.end(), heap_cmp);
-          }
+      const Index begin = m_.ColBegin(k);
+      const Index end = m_.ColEnd(k);
+      const Index diag_pos = lower_ ? begin : end - 1;
+      KDASH_DCHECK(m_.RowIndex(diag_pos) == k) << "missing diagonal";
+      const Scalar xk = x[static_cast<std::size_t>(k)] / m_.Value(diag_pos);
+      x[static_cast<std::size_t>(k)] = xk;
+      if (xk == 0.0) continue;
+      const Index lo = lower_ ? begin + 1 : begin;
+      const Index hi = lower_ ? end : end - 1;
+      for (Index t = lo; t < hi; ++t) {
+        const NodeId i = m_.RowIndex(t);
+        x[static_cast<std::size_t>(i)] -= m_.Value(t) * xk;
+        if (!occupied[static_cast<std::size_t>(i)]) {
+          occupied[static_cast<std::size_t>(i)] = true;
+          heap.push_back(heap_key(i));
+          std::push_heap(heap.begin(), heap.end(), heap_cmp);
         }
       }
-
-      // Gather the column (ascending rows), applying the drop tolerance.
-      std::sort(pattern.begin(), pattern.end());
-      for (const NodeId i : pattern) {
-        const Scalar xi = x[static_cast<std::size_t>(i)];
-        x[static_cast<std::size_t>(i)] = 0.0;
-        occupied[static_cast<std::size_t>(i)] = false;
-        if (xi == 0.0) continue;
-        if (tol_ > 0.0 && std::abs(xi) <= tol_ && i != j) continue;
-        rows.push_back(i);
-        vals.push_back(xi);
-      }
-      ptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rows.size());
     }
 
-    return sparse::CscMatrix(m_.rows(), m_.cols(), std::move(ptr),
-                             std::move(rows), std::move(vals));
+    // Gather the column (ascending rows), applying the drop tolerance.
+    Index kept = 0;
+    std::sort(pattern.begin(), pattern.end());
+    for (const NodeId i : pattern) {
+      const Scalar xi = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;
+      occupied[static_cast<std::size_t>(i)] = false;
+      if (xi == 0.0) continue;
+      if (tol_ > 0.0 && std::abs(xi) <= tol_ && i != j) continue;
+      rows.push_back(i);
+      vals.push_back(xi);
+      ++kept;
+    }
+    return kept;
   }
 
- private:
+  sparse::CscMatrix BuildSequential() {
+    const NodeId n = m_.rows();
+    std::vector<Index> ptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<NodeId> rows;
+    std::vector<Scalar> vals;
+    Workspace ws;
+    ws.EnsureSize(n);
+    for (NodeId j = 0; j < n; ++j) {
+      ComputeColumn(j, ws, rows, vals);
+      ptr[static_cast<std::size_t>(j) + 1] = static_cast<Index>(rows.size());
+    }
+    return sparse::CscMatrix(n, n, std::move(ptr), std::move(rows),
+                             std::move(vals));
+  }
+
+  sparse::CscMatrix BuildParallel(ThreadPool& pool) {
+    const int num_threads = pool.num_threads();
+    const NodeId n = m_.rows();
+    // Fixed column blocks: small enough for load balance under the dynamic
+    // scheduler, large enough to amortize the per-block buffers. Boundaries
+    // do not affect the output (columns are independent), only performance.
+    const Index grain = std::clamp<Index>(
+        static_cast<Index>(n) / (static_cast<Index>(num_threads) * 8), 8, 512);
+    const Index num_blocks = (static_cast<Index>(n) + grain - 1) / grain;
+
+    struct Block {
+      std::vector<NodeId> rows;
+      std::vector<Scalar> vals;
+    };
+    std::vector<Block> blocks(static_cast<std::size_t>(num_blocks));
+    std::vector<Index> ptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<Workspace> workspaces(static_cast<std::size_t>(num_threads));
+
+    // Pass 1 (parallel): compute every column into its block's buffer and
+    // record per-column nnz counts in ptr[j + 1].
+    pool.ParallelFor(0, num_blocks, 1, [&](Index b_begin, Index b_end, int rank) {
+      Workspace& ws = workspaces[static_cast<std::size_t>(rank)];
+      ws.EnsureSize(n);
+      for (Index b = b_begin; b < b_end; ++b) {
+        Block& block = blocks[static_cast<std::size_t>(b)];
+        const NodeId col_begin = static_cast<NodeId>(b * grain);
+        const NodeId col_end =
+            static_cast<NodeId>(std::min<Index>(n, (b + 1) * grain));
+        for (NodeId j = col_begin; j < col_end; ++j) {
+          ptr[static_cast<std::size_t>(j) + 1] =
+              ComputeColumn(j, ws, block.rows, block.vals);
+        }
+      }
+    });
+
+    // Pass 2a (sequential): per-column counts → exact offsets.
+    for (NodeId j = 0; j < n; ++j) {
+      ptr[static_cast<std::size_t>(j) + 1] += ptr[static_cast<std::size_t>(j)];
+    }
+
+    // Pass 2b (parallel): copy each block to its exact position. A block's
+    // first column starts at ptr[block's first column].
+    const Index total_nnz = ptr[static_cast<std::size_t>(n)];
+    std::vector<NodeId> rows(static_cast<std::size_t>(total_nnz));
+    std::vector<Scalar> vals(static_cast<std::size_t>(total_nnz));
+    pool.ParallelFor(0, num_blocks, 1, [&](Index b_begin, Index b_end, int) {
+      for (Index b = b_begin; b < b_end; ++b) {
+        const Block& block = blocks[static_cast<std::size_t>(b)];
+        const NodeId col_begin = static_cast<NodeId>(b * grain);
+        const Index offset = ptr[static_cast<std::size_t>(col_begin)];
+        std::copy(block.rows.begin(), block.rows.end(),
+                  rows.begin() + static_cast<std::ptrdiff_t>(offset));
+        std::copy(block.vals.begin(), block.vals.end(),
+                  vals.begin() + static_cast<std::ptrdiff_t>(offset));
+      }
+    });
+
+    return sparse::CscMatrix(n, n, std::move(ptr), std::move(rows),
+                             std::move(vals));
+  }
+
   const sparse::CscMatrix& m_;
   bool lower_;
   Scalar tol_;
@@ -144,13 +252,17 @@ class TriangularInverter {
 }  // namespace
 
 sparse::CscMatrix InvertLowerTriangular(const sparse::CscMatrix& lower,
-                                        Scalar drop_tolerance) {
-  return TriangularInverter(lower, /*lower=*/true, drop_tolerance).Build();
+                                        Scalar drop_tolerance,
+                                        int num_threads) {
+  return TriangularInverter(lower, /*lower=*/true, drop_tolerance)
+      .Build(num_threads);
 }
 
 sparse::CscMatrix InvertUpperTriangular(const sparse::CscMatrix& upper,
-                                        Scalar drop_tolerance) {
-  return TriangularInverter(upper, /*lower=*/false, drop_tolerance).Build();
+                                        Scalar drop_tolerance,
+                                        int num_threads) {
+  return TriangularInverter(upper, /*lower=*/false, drop_tolerance)
+      .Build(num_threads);
 }
 
 }  // namespace kdash::lu

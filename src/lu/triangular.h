@@ -9,6 +9,14 @@
 //     column by column with cost proportional to output nonzeros),
 //   * the explicit inverse builders with an optional drop tolerance
 //     (default 0 = exact; used only by the ablation benchmark).
+//
+// The inverse builders parallelize across column blocks: every column of
+// L⁻¹/U⁻¹ is an independent sparse triangular solve, so blocks of columns
+// are computed on a thread pool into per-block buffers and then assembled
+// into one CSC matrix with a two-pass scheme (per-column nnz counts →
+// exact offsets → parallel fill). Each column's values are produced by the
+// same code in the same order regardless of thread count, so the parallel
+// result is bit-identical to the sequential one.
 #ifndef KDASH_LU_TRIANGULAR_H_
 #define KDASH_LU_TRIANGULAR_H_
 
@@ -29,13 +37,17 @@ void SolveUpperInPlace(const sparse::CscMatrix& upper, std::vector<Scalar>& b);
 
 // Explicit inverse of a lower triangular matrix, column by column, keeping
 // entries with |value| > drop_tolerance. drop_tolerance == 0 keeps every
-// numerically nonzero entry (exact).
+// numerically nonzero entry (exact). num_threads: 0 = DefaultNumThreads()
+// (KDASH_NUM_THREADS or hardware concurrency), 1 = sequential, T > 1 = a
+// pool of T workers. The output is identical for every thread count.
 sparse::CscMatrix InvertLowerTriangular(const sparse::CscMatrix& lower,
-                                        Scalar drop_tolerance = 0.0);
+                                        Scalar drop_tolerance = 0.0,
+                                        int num_threads = 0);
 
 // Explicit inverse of an upper triangular matrix.
 sparse::CscMatrix InvertUpperTriangular(const sparse::CscMatrix& upper,
-                                        Scalar drop_tolerance = 0.0);
+                                        Scalar drop_tolerance = 0.0,
+                                        int num_threads = 0);
 
 }  // namespace kdash::lu
 

@@ -6,6 +6,7 @@
 #ifndef KDASH_SPARSE_CSR_MATRIX_H_
 #define KDASH_SPARSE_CSR_MATRIX_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.h"
@@ -44,12 +45,48 @@ class CsrMatrix {
   const std::vector<NodeId>& col_idx() const { return col_idx_; }
   const std::vector<Scalar>& values() const { return values_; }
 
-  // Sparse row · dense vector. `x` must have size cols().
+  // Sparse row · dense vector. `x` must have size cols(). Four independent
+  // accumulators keep the gather pipeline busy; the summation order is fixed
+  // (never input-dependent), so results are reproducible run to run.
   Scalar RowDot(NodeId row, const std::vector<Scalar>& x) const {
+    const Index begin = RowBegin(row);
+    const Index count = RowEnd(row) - begin;
+    const NodeId* cols = col_idx_.data() + begin;
+    const Scalar* vals = values_.data() + begin;
+    Scalar acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    Index k = 0;
+    for (; k + 4 <= count; k += 4) {
+      acc0 += vals[k] * x[static_cast<std::size_t>(cols[k])];
+      acc1 += vals[k + 1] * x[static_cast<std::size_t>(cols[k + 1])];
+      acc2 += vals[k + 2] * x[static_cast<std::size_t>(cols[k + 2])];
+      acc3 += vals[k + 3] * x[static_cast<std::size_t>(cols[k + 3])];
+    }
+    for (; k < count; ++k) {
+      acc0 += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    return (acc0 + acc1) + (acc2 + acc3);
+  }
+
+  // Sparse row · sparse vector. `x_rows` must list the (candidate) nonzero
+  // positions of the dense vector `x` in strictly ascending order. Walks the
+  // shorter support with a shrinking binary search into the row segment, so
+  // the cost is O(nnz(x) · log nnz(row)) — a win over RowDot whenever x is
+  // much sparser than the row is long.
+  Scalar RowDotSparse(NodeId row, const std::vector<Scalar>& x,
+                      const std::vector<NodeId>& x_rows) const {
     Scalar acc = 0.0;
-    const Index end = RowEnd(row);
-    for (Index k = RowBegin(row); k < end; ++k) {
-      acc += Value(k) * x[static_cast<std::size_t>(ColIndex(k))];
+    const NodeId* cols = col_idx_.data();
+    Index lo = RowBegin(row);
+    const Index hi = RowEnd(row);
+    for (const NodeId r : x_rows) {
+      const NodeId* it = std::lower_bound(cols + lo, cols + hi, r);
+      lo = static_cast<Index>(it - cols);
+      if (lo >= hi) break;
+      if (*it == r) {
+        acc += values_[static_cast<std::size_t>(lo)] *
+               x[static_cast<std::size_t>(r)];
+        ++lo;
+      }
     }
     return acc;
   }

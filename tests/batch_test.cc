@@ -76,5 +76,83 @@ TEST(BatchTest, MoreThreadsThanQueries) {
   EXPECT_EQ(batch[1].top[0].node, 1);
 }
 
+TEST(SearcherPoolTest, PersistentPoolMatchesSingleSearcherAcrossBatches) {
+  const auto g = test::RandomDirectedGraph(180, 1100, 71);
+  const auto index = KDashIndex::Build(g, {});
+  SearcherPool pool(&index, 4);
+  KDashSearcher searcher(&index);
+
+  // Several batches through the same pool: the reused per-rank searchers
+  // must keep producing exactly the single-searcher results.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<NodeId> queries;
+    for (NodeId q = static_cast<NodeId>(round); q < 180; q += 7) {
+      queries.push_back(q);
+    }
+    const auto batch = pool.TopKBatch(queries, 5);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto reference = searcher.TopK(queries[i], 5);
+      ASSERT_EQ(batch[i].top.size(), reference.size());
+      for (std::size_t r = 0; r < reference.size(); ++r) {
+        EXPECT_EQ(batch[i].top[r].node, reference[r].node);
+        EXPECT_DOUBLE_EQ(batch[i].top[r].score, reference[r].score);
+      }
+    }
+  }
+}
+
+TEST(SearcherPoolTest, SharedPoolVariantWorks) {
+  const auto g = test::RandomDirectedGraph(100, 600, 72);
+  const auto index = KDashIndex::Build(g, {});
+  SearcherPool pool(&index);  // borrows the process-wide shared pool
+  EXPECT_GE(pool.num_threads(), 1);
+  const auto batch = pool.TopKBatch({0, 1, 2, 3, 4}, 4);
+  ASSERT_EQ(batch.size(), 5u);
+  KDashSearcher searcher(&index);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto reference = searcher.TopK(batch[i].query, 4);
+    ASSERT_EQ(batch[i].top.size(), reference.size());
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(batch[i].top[r].node, reference[r].node);
+      EXPECT_DOUBLE_EQ(batch[i].top[r].score, reference[r].score);
+    }
+  }
+}
+
+TEST(BatchPersonalizedTest, MatchesSequentialPersonalizedSearcher) {
+  const auto g = test::RandomDirectedGraph(150, 900, 73);
+  const auto index = KDashIndex::Build(g, {});
+
+  Rng rng(9);
+  std::vector<std::vector<NodeId>> source_sets;
+  for (int i = 0; i < 24; ++i) {
+    std::vector<NodeId> sources;
+    const int count = 1 + static_cast<int>(rng.NextNode(4));
+    for (int s = 0; s < count; ++s) sources.push_back(rng.NextNode(150));
+    source_sets.push_back(std::move(sources));
+  }
+
+  const auto batch = TopKBatchPersonalized(index, source_sets, 6, {}, 4);
+  ASSERT_EQ(batch.size(), source_sets.size());
+
+  KDashSearcher searcher(&index);
+  for (std::size_t i = 0; i < source_sets.size(); ++i) {
+    const auto reference = searcher.TopKPersonalized(source_sets[i], 6);
+    ASSERT_EQ(batch[i].top.size(), reference.size()) << "i=" << i;
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      EXPECT_EQ(batch[i].top[r].node, reference[r].node);
+      EXPECT_DOUBLE_EQ(batch[i].top[r].score, reference[r].score);
+    }
+    EXPECT_GT(batch[i].stats.proximity_computations, 0);
+  }
+}
+
+TEST(BatchPersonalizedTest, EmptyBatch) {
+  const auto g = test::SmallDirectedGraph();
+  const auto index = KDashIndex::Build(g, {});
+  EXPECT_TRUE(TopKBatchPersonalized(index, {}, 3).empty());
+}
+
 }  // namespace
 }  // namespace kdash::core

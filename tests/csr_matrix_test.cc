@@ -56,6 +56,66 @@ TEST(CsrMatrixTest, RowDot) {
   EXPECT_DOUBLE_EQ(m.RowDot(2, x), 4.0 * 1 + 5.0 * 3);
 }
 
+TEST(CsrMatrixTest, RowDotLongRowMatchesNaive) {
+  // Rows longer than the 4-way unroll width, including remainders 0..3.
+  Rng rng(11);
+  for (int len : {5, 8, 9, 10, 11, 31}) {
+    CooBuilder builder(1, 40);
+    std::vector<Scalar> x(40);
+    for (auto& v : x) v = rng.NextDouble() - 0.5;
+    Scalar naive = 0.0;
+    for (int t = 0; t < len; ++t) {
+      const NodeId col = static_cast<NodeId>(t * 40 / len);
+      const Scalar value = rng.NextDouble();
+      builder.Add(0, col, value);
+      naive += value * x[static_cast<std::size_t>(col)];
+    }
+    const CsrMatrix m = builder.BuildCsr();
+    EXPECT_NEAR(m.RowDot(0, x), naive, 1e-14) << "len=" << len;
+  }
+}
+
+TEST(CsrMatrixTest, RowDotSparseMatchesDense) {
+  const CsrMatrix m = Example();
+  std::vector<Scalar> x(4, 0.0);
+  x[0] = 1.0;
+  x[3] = 4.0;
+  const std::vector<NodeId> support{0, 3};
+  for (NodeId row = 0; row < 3; ++row) {
+    EXPECT_DOUBLE_EQ(m.RowDotSparse(row, x, support), m.RowDot(row, x));
+  }
+}
+
+TEST(CsrMatrixTest, RowDotSparseEdgeCases) {
+  const CsrMatrix m = Example();
+  const std::vector<Scalar> x{1.0, 2.0, 3.0, 4.0};
+  // Empty support.
+  EXPECT_DOUBLE_EQ(m.RowDotSparse(0, x, {}), 0.0);
+  // Support disjoint from the row pattern.
+  EXPECT_DOUBLE_EQ(m.RowDotSparse(1, x, {0, 2, 3}), 0.0);
+  // Support covering every column (superset of the row pattern).
+  EXPECT_DOUBLE_EQ(m.RowDotSparse(2, x, {0, 1, 2, 3}), m.RowDot(2, x));
+}
+
+TEST(CsrMatrixTest, RowDotSparseRandomAgreesWithDense) {
+  Rng rng(29);
+  CooBuilder builder(30, 30);
+  for (int e = 0; e < 200; ++e) {
+    builder.Add(rng.NextNode(30), rng.NextNode(30), rng.NextDouble());
+  }
+  const CsrMatrix m = builder.BuildCsr();
+  std::vector<Scalar> x(30, 0.0);
+  std::vector<NodeId> support;
+  for (NodeId j = 0; j < 30; j += 3) {
+    support.push_back(j);
+    x[static_cast<std::size_t>(j)] = rng.NextDouble() - 0.5;
+  }
+  for (NodeId row = 0; row < 30; ++row) {
+    EXPECT_NEAR(m.RowDotSparse(row, x, support), m.RowDot(row, x), 1e-14)
+        << "row " << row;
+  }
+}
+
 TEST(CsrMatrixTest, CscRoundTrip) {
   const CsrMatrix m = Example();
   const CsrMatrix round = m.ToCsc().ToCsr();

@@ -1,0 +1,83 @@
+// The acceptance contract of the parallel precompute: inverting a factor
+// with any number of threads must produce byte-identical CSC output to the
+// sequential inversion. CscMatrix::operator== compares the raw col_ptr /
+// row_idx / values arrays, so EXPECT_EQ here is a bit-level check.
+#include <gtest/gtest.h>
+
+#include "core/kdash_index.h"
+#include "lu/sparse_lu.h"
+#include "lu/triangular.h"
+#include "test_util.h"
+
+namespace kdash::lu {
+namespace {
+
+using sparse::CscMatrix;
+
+LuFactors FactorsOfRandomRwr(NodeId n, Index m, Scalar c, std::uint64_t seed) {
+  const auto g = test::RandomDirectedGraph(n, m, seed);
+  return FactorizeLu(BuildRwrSystemMatrix(g.NormalizedAdjacency(), c));
+}
+
+TEST(ParallelInverseDeterminismTest, LowerInverseBitIdenticalAcrossThreads) {
+  const LuFactors factors = FactorsOfRandomRwr(300, 2400, 0.95, 17);
+  const CscMatrix sequential = InvertLowerTriangular(factors.lower, 0.0, 1);
+  for (int threads : {2, 4, 8}) {
+    const CscMatrix parallel = InvertLowerTriangular(factors.lower, 0.0, threads);
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelInverseDeterminismTest, UpperInverseBitIdenticalAcrossThreads) {
+  const LuFactors factors = FactorsOfRandomRwr(300, 2400, 0.95, 18);
+  const CscMatrix sequential = InvertUpperTriangular(factors.upper, 0.0, 1);
+  for (int threads : {2, 4, 8}) {
+    const CscMatrix parallel = InvertUpperTriangular(factors.upper, 0.0, threads);
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelInverseDeterminismTest, DropToleranceBitIdenticalAcrossThreads) {
+  const LuFactors factors = FactorsOfRandomRwr(250, 2000, 0.9, 19);
+  const CscMatrix sequential = InvertLowerTriangular(factors.lower, 1e-6, 1);
+  for (int threads : {2, 8}) {
+    const CscMatrix parallel =
+        InvertLowerTriangular(factors.lower, 1e-6, threads);
+    EXPECT_EQ(parallel, sequential) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelInverseDeterminismTest, TinyMatricesAcrossThreads) {
+  // n below / around one block: the parallel path must degrade gracefully.
+  // (n >= 2: a simple directed graph needs at least two nodes for an edge.)
+  for (NodeId n : {2, 3, 7, 9}) {
+    const LuFactors factors =
+        FactorsOfRandomRwr(n, static_cast<Index>(2 * n), 0.9,
+                           static_cast<std::uint64_t>(40 + n));
+    const CscMatrix sequential = InvertLowerTriangular(factors.lower, 0.0, 1);
+    for (int threads : {2, 4}) {
+      EXPECT_EQ(InvertLowerTriangular(factors.lower, 0.0, threads), sequential)
+          << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelInverseDeterminismTest, IndexBuildIdenticalAcrossThreads) {
+  // End-to-end: the whole precompute (which parallelizes only the inverse
+  // stage) must produce an identical index for every thread count.
+  const auto g = test::RandomDirectedGraph(200, 1200, 21);
+  core::KDashOptions options;
+  options.num_threads = 1;
+  const auto sequential = core::KDashIndex::Build(g, options);
+  for (int threads : {2, 4}) {
+    options.num_threads = threads;
+    const auto parallel = core::KDashIndex::Build(g, options);
+    EXPECT_EQ(parallel.lower_inverse(), sequential.lower_inverse())
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.upper_inverse(), sequential.upper_inverse())
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace kdash::lu
