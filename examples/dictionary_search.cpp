@@ -8,8 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "datasets/foldoc_case_study.h"
 
 int main(int argc, char** argv) {
@@ -19,8 +18,12 @@ int main(int argc, char** argv) {
   std::printf("Dictionary graph: %s\n",
               graph::DescribeGraph(term_graph.graph).c_str());
 
-  const core::KDashIndex index = core::KDashIndex::Build(term_graph.graph, {});
-  core::KDashSearcher searcher(&index);
+  auto engine = Engine::Build(term_graph.graph, {});
+  if (!engine.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
 
   std::vector<std::string> queries;
   if (argc > 1) {
@@ -35,8 +38,12 @@ int main(int argc, char** argv) {
       std::printf("\n'%s' is not in the dictionary.\n", query.c_str());
       continue;
     }
-    core::SearchStats stats;
-    const auto top = searcher.TopK(q, 6, {}, &stats);
+    const auto result = engine->Search(Query::Single(q, 6));
+    if (!result.ok()) {
+      std::printf("search failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const auto& top = result->top;
     std::printf("\nTerms most related to '%s':\n", query.c_str());
     for (std::size_t i = 1; i < top.size(); ++i) {  // skip the term itself
       std::printf("  %zu. %-40s (proximity %.5f)\n", i,
@@ -44,7 +51,7 @@ int main(int argc, char** argv) {
                   top[i].score);
     }
     std::printf("  [examined %d of %d reachable terms before pruning]\n",
-                stats.proximity_computations, stats.tree_size);
+                result->stats.proximity_computations, result->stats.tree_size);
   }
   return 0;
 }

@@ -11,8 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "graph/graph.h"
 
 int main() {
@@ -86,8 +85,12 @@ int main() {
   const graph::Graph graph = std::move(builder).Build();
   std::printf("Mixed media graph: %s\n", graph::DescribeGraph(graph).c_str());
 
-  const core::KDashIndex index = core::KDashIndex::Build(graph, {});
-  core::KDashSearcher searcher(&index);
+  auto engine = Engine::Build(graph, {});
+  if (!engine.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
 
   // Caption the uncaptioned images: restart into {image} ∪ its regions,
   // rank word nodes by proximity, take the top 4.
@@ -98,10 +101,14 @@ int main() {
       restart.push_back(
           static_cast<NodeId>(region_base + image * kRegionsPerImage + r));
     }
-    const auto ranked = searcher.TopKPersonalized(restart, 400);
+    const auto result = engine->Search(Query::Personalized(restart, 400));
+    if (!result.ok()) {
+      std::printf("search failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
 
     std::vector<int> predicted;
-    for (const auto& entry : ranked) {
+    for (const auto& entry : result->top) {
       if (entry.node < word_base) continue;
       predicted.push_back(entry.node - word_base);
       if (predicted.size() == 4) break;

@@ -11,8 +11,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "graph/generators.h"
 
 int main() {
@@ -41,8 +40,12 @@ int main() {
   std::printf("Observed graph: %s\n", graph::DescribeGraph(observed).c_str());
   std::printf("Hidden future collaborations: %zu\n", hidden.size());
 
-  const core::KDashIndex index = core::KDashIndex::Build(observed, {});
-  core::KDashSearcher searcher(&index);
+  auto engine = Engine::Build(observed, {});
+  if (!engine.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
 
   // For each author with a hidden collaboration, predict the top-10
   // non-neighbors by proximity; count hits.
@@ -62,9 +65,13 @@ int main() {
       known.insert(nb.node);
     }
 
-    const auto ranked = searcher.TopK(author, 64);
+    const auto result = engine->Search(Query::Single(author, 64));
+    if (!result.ok()) {
+      std::printf("search failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
     int made = 0;
-    for (const auto& entry : ranked) {
+    for (const auto& entry : result->top) {
       if (known.count(entry.node)) continue;
       ++predictions;
       if (hidden_set.count({author, entry.node})) ++rwr_hits;

@@ -1,11 +1,10 @@
-// Quickstart: build a graph, build the K-dash index once, run exact top-k
+// Quickstart: build a graph, stand up a kdash::Engine, run exact top-k
 // RWR queries, and cross-check against the classic iterative solver.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "graph/graph.h"
 #include "rwr/power_iteration.h"
 
@@ -25,33 +24,42 @@ int main() {
   builder.AddUndirectedEdge(4, 5, 4.0);
   const graph::Graph graph = std::move(builder).Build();
 
-  // 2. Precompute the index (reorder → LU → sparse inverses). Defaults:
-  //    c = 0.95 and hybrid reordering, as in the paper's experiments.
-  core::KDashOptions options;
-  options.restart_prob = 0.95;
-  const core::KDashIndex index = core::KDashIndex::Build(graph, options);
+  // 2. Build the engine (reorder → LU → sparse inverses happen inside).
+  //    Defaults: c = 0.95 and hybrid reordering, as in the paper's
+  //    experiments. Errors come back as a Status — nothing aborts.
+  EngineOptions options;
+  options.index.restart_prob = 0.95;
+  auto engine = Engine::Build(graph, options);
+  if (!engine.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
 
   // 3. Query: exact top-3 nodes by RWR proximity w.r.t. node 0.
-  core::KDashSearcher searcher(&index);
-  core::SearchStats stats;
-  const auto top = searcher.TopK(/*query=*/0, /*k=*/3, {}, &stats);
+  const auto result = engine->Search(Query::Single(/*source=*/0, /*k=*/3));
+  if (!result.ok()) {
+    std::printf("search failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("Top-3 RWR proximities from node 0 (c = %.2f):\n",
-              index.restart_prob());
-  for (std::size_t i = 0; i < top.size(); ++i) {
-    std::printf("  #%zu  node %d  proximity %.6f\n", i + 1, top[i].node,
-                top[i].score);
+              engine->restart_prob());
+  for (std::size_t i = 0; i < result->top.size(); ++i) {
+    std::printf("  #%zu  node %d  proximity %.6f\n", i + 1,
+                result->top[i].node, result->top[i].score);
   }
   std::printf("(visited %d nodes, computed %d exact proximities, pruned=%s)\n",
-              stats.nodes_visited, stats.proximity_computations,
-              stats.terminated_early ? "yes" : "no");
+              result->stats.nodes_visited,
+              result->stats.proximity_computations,
+              result->stats.terminated_early ? "yes" : "no");
 
   // 4. Verify against the iterative ground truth (Eq. 1 of the paper).
   const auto truth =
       rwr::TopKByPowerIteration(graph.NormalizedAdjacency(), 0, 3, {});
-  bool exact = truth.size() == top.size();
-  for (std::size_t i = 0; exact && i < top.size(); ++i) {
-    exact = top[i].node == truth[i].node;
+  bool exact = truth.size() == result->top.size();
+  for (std::size_t i = 0; exact && i < result->top.size(); ++i) {
+    exact = result->top[i].node == truth[i].node;
   }
   std::printf("Matches iterative ground truth: %s\n", exact ? "yes" : "NO");
   return exact ? 0 : 1;

@@ -8,8 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "graph/generators.h"
 
 int main() {
@@ -24,32 +23,40 @@ int main() {
       graph::BipartiteRatings(kUsers, kItems, kRatings, rng);
   std::printf("User-item graph: %s\n", graph::DescribeGraph(graph).c_str());
 
-  const core::KDashIndex index = core::KDashIndex::Build(graph, {});
-  core::KDashSearcher searcher(&index);
+  auto engine = Engine::Build(graph, {});
+  if (!engine.ok()) {
+    std::printf("engine build failed: %s\n",
+                engine.status().ToString().c_str());
+    return 1;
+  }
 
   // Recommend for a handful of users: rank everything by RWR proximity but
   // exclude the user, all other users, and already-rated items — the top-k
-  // that remains are unseen items reached through taste-alike users.
+  // that remains are unseen items reached through taste-alike users. The
+  // exclusion set lives on the Query itself: nothing to keep alive.
   for (const NodeId user : {0, 7, 42}) {
     std::set<NodeId> rated;
     for (const graph::Neighbor& nb : graph.OutNeighbors(user)) {
       rated.insert(nb.node);
     }
 
-    // Exclude the user's own node, all other users, and the rated items
-    // from the ranking itself — the exact top-k *of the allowed items*.
-    std::vector<NodeId> exclude(rated.begin(), rated.end());
-    for (NodeId other = 0; other < kUsers; ++other) exclude.push_back(other);
-    core::SearchOptions options;
-    options.exclude = &exclude;
-    const auto ranked = searcher.TopK(user, 5, options);
+    Query query = Query::Single(user, 5);
+    query.exclude.assign(rated.begin(), rated.end());
+    for (NodeId other = 0; other < kUsers; ++other) {
+      query.exclude.push_back(other);
+    }
+    const auto result = engine->Search(query);
+    if (!result.ok()) {
+      std::printf("search failed: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
     std::printf("\nUser %d (%zu ratings) — top recommendations:\n", user,
                 rated.size());
-    for (const auto& entry : ranked) {
+    for (const auto& entry : result->top) {
       std::printf("  item %-5d proximity %.6f\n", entry.node - kUsers,
                   entry.score);
     }
-    if (ranked.empty()) {
+    if (result->top.empty()) {
       std::printf("  (no unrated items reachable — user is isolated)\n");
     }
   }

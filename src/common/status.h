@@ -1,0 +1,144 @@
+// Recoverable-error primitives for the serving API.
+//
+// The library's KDASH_CHECK macros abort, which is the right contract for
+// internal invariants ("this can only fire on a library bug") but fatal for
+// a long-lived server handed untrusted inputs: a corrupt index file or an
+// out-of-range query id must come back to the caller, not kill the process.
+// `Status` carries a canonical error code plus a human-readable message;
+// `Result<T>` is a value-or-Status union. Both are the return currency of
+// `kdash::Engine` and of index persistence.
+#ifndef KDASH_COMMON_STATUS_H_
+#define KDASH_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace kdash {
+
+// Canonical error space (a deliberate subset of the gRPC/absl codes).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller passed a malformed query/option
+  kNotFound,            // missing file, missing edge, missing node
+  kFailedPrecondition,  // operation not valid for this object's state
+  kDataLoss,            // corrupt or truncated index stream
+  kUnimplemented,       // feature not supported by this backend
+  kInternal,            // invariant violation surfaced as an error
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: node 17 out of range".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& out, const Status& status) {
+  return out << status.ToString();
+}
+
+// Value-or-error. A Result is either OK and holds a T, or non-OK and holds
+// only the Status. Accessing value() on a non-OK Result is a programming
+// error and aborts (the caller should have checked ok()).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from a value or from a non-OK Status, so functions can
+  // `return MakeIndex();` and `return Status::DataLoss(...);` alike.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    KDASH_CHECK(!status_.ok()) << "Result constructed from an OK Status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    KDASH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    KDASH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    KDASH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a T
+  std::optional<T> value_;
+};
+
+// Early-return plumbing:
+//
+//   KDASH_RETURN_IF_ERROR(WriteHeader(out));
+//   KDASH_ASSIGN_OR_RETURN(auto index, KDashIndex::Load(in));
+#define KDASH_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::kdash::Status kdash_status_internal_ = (expr);   \
+    if (!kdash_status_internal_.ok()) {                \
+      return kdash_status_internal_;                   \
+    }                                                  \
+  } while (false)
+
+#define KDASH_STATUS_CONCAT_INNER(a, b) a##b
+#define KDASH_STATUS_CONCAT(a, b) KDASH_STATUS_CONCAT_INNER(a, b)
+
+#define KDASH_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto KDASH_STATUS_CONCAT(kdash_result_, __LINE__) = (expr);              \
+  if (!KDASH_STATUS_CONCAT(kdash_result_, __LINE__).ok()) {                \
+    return KDASH_STATUS_CONCAT(kdash_result_, __LINE__).status();          \
+  }                                                                        \
+  lhs = std::move(KDASH_STATUS_CONCAT(kdash_result_, __LINE__)).value()
+
+}  // namespace kdash
+
+#endif  // KDASH_COMMON_STATUS_H_

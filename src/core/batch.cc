@@ -19,7 +19,7 @@ SearcherPool::SearcherPool(const KDashIndex* index, int num_threads)
   searchers_.resize(static_cast<std::size_t>(pool_->num_threads()));
 }
 
-void SearcherPool::Dispatch(
+void SearcherPool::ForEach(
     std::size_t count,
     const std::function<void(KDashSearcher&, std::size_t)>& fn) {
   if (count == 0) return;
@@ -41,7 +41,7 @@ std::vector<BatchQueryResult> SearcherPool::TopKBatch(
     const std::vector<NodeId>& queries, std::size_t k,
     const SearchOptions& options) {
   std::vector<BatchQueryResult> results(queries.size());
-  Dispatch(queries.size(), [&](KDashSearcher& searcher, std::size_t i) {
+  ForEach(queries.size(), [&](KDashSearcher& searcher, std::size_t i) {
     BatchQueryResult& result = results[i];
     result.query = queries[i];
     result.top = searcher.TopK(queries[i], k, options, &result.stats);
@@ -53,7 +53,7 @@ std::vector<PersonalizedBatchResult> SearcherPool::TopKBatchPersonalized(
     const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
     const SearchOptions& options) {
   std::vector<PersonalizedBatchResult> results(source_sets.size());
-  Dispatch(source_sets.size(), [&](KDashSearcher& searcher, std::size_t i) {
+  ForEach(source_sets.size(), [&](KDashSearcher& searcher, std::size_t i) {
     PersonalizedBatchResult& result = results[i];
     result.top =
         searcher.TopKPersonalized(source_sets[i], k, options, &result.stats);

@@ -58,12 +58,14 @@ class SearcherPool {
       const std::vector<std::vector<NodeId>>& source_sets, std::size_t k,
       const SearchOptions& options = {});
 
- private:
-  // Runs fn(searcher, i) for every i in [0, count), work-stealing across
-  // ranks; each rank uses its own persistent searcher.
-  void Dispatch(std::size_t count,
-                const std::function<void(KDashSearcher&, std::size_t)>& fn);
+  // General heterogeneous dispatch: runs fn(searcher, i) for every i in
+  // [0, count), work-stealing across ranks; each rank uses its own
+  // persistent searcher. This is what Engine::SearchBatch builds on —
+  // every query i may carry its own k/options.
+  void ForEach(std::size_t count,
+               const std::function<void(KDashSearcher&, std::size_t)>& fn);
 
+ private:
   const KDashIndex* index_;
   ThreadPool* pool_;                   // owned_pool_ or the shared pool
   std::unique_ptr<ThreadPool> owned_pool_;

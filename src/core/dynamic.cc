@@ -1,6 +1,7 @@
 #include "core/dynamic.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "lu/triangular.h"
@@ -54,21 +55,35 @@ void DynamicKDash::Rebuild() {
   ++rebuild_count_;
 }
 
-void DynamicKDash::AddEdge(NodeId src, NodeId dst, Scalar weight) {
-  KDASH_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
-  KDASH_CHECK(weight > 0.0);
+Status DynamicKDash::AddEdge(NodeId src, NodeId dst, Scalar weight) {
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range: " +
+                                   std::to_string(src) + "->" +
+                                   std::to_string(dst));
+  }
+  if (!(weight > 0.0)) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
   out_edges_[static_cast<std::size_t>(src)][dst] += weight;
   MarkColumnChanged(src);
+  return Status::Ok();
 }
 
-void DynamicKDash::RemoveEdge(NodeId src, NodeId dst) {
-  KDASH_CHECK(src >= 0 && src < num_nodes_ && dst >= 0 && dst < num_nodes_);
+Status DynamicKDash::RemoveEdge(NodeId src, NodeId dst) {
+  if (src < 0 || src >= num_nodes_ || dst < 0 || dst >= num_nodes_) {
+    return Status::InvalidArgument("edge endpoint out of range: " +
+                                   std::to_string(src) + "->" +
+                                   std::to_string(dst));
+  }
   auto& edges = out_edges_[static_cast<std::size_t>(src)];
   const auto it = edges.find(dst);
-  KDASH_CHECK(it != edges.end()) << "edge " << src << "→" << dst
-                                 << " does not exist";
+  if (it == edges.end()) {
+    return Status::NotFound("edge " + std::to_string(src) + "->" +
+                            std::to_string(dst) + " does not exist");
+  }
   edges.erase(it);
   MarkColumnChanged(src);
+  return Status::Ok();
 }
 
 void DynamicKDash::MarkColumnChanged(NodeId u) {
@@ -135,11 +150,28 @@ void DynamicKDash::RefreshCorrection() {
 }
 
 std::vector<Scalar> DynamicKDash::Solve(NodeId query) {
-  KDASH_CHECK(query >= 0 && query < num_nodes_);
+  return SolvePersonalized({query});
+}
+
+std::vector<Scalar> DynamicKDash::SolvePersonalized(
+    const std::vector<NodeId>& sources) {
+  KDASH_CHECK(!sources.empty());
+  std::vector<NodeId> unique = sources;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (const NodeId s : unique) {
+    KDASH_CHECK(s >= 0 && s < num_nodes_) << "source " << s;
+  }
   if (!correction_fresh_) RefreshCorrection();
 
+  // rhs = c·q with q the uniform restart distribution over the sources
+  // (q = e_query for a single-source query).
   std::vector<Scalar> rhs(static_cast<std::size_t>(num_nodes_), 0.0);
-  rhs[static_cast<std::size_t>(query)] = options_.restart_prob;  // c·e_q
+  const Scalar restart_mass =
+      options_.restart_prob / static_cast<Scalar>(unique.size());
+  for (const NodeId s : unique) {
+    rhs[static_cast<std::size_t>(s)] = restart_mass;
+  }
   std::vector<Scalar> p = BaseSolve(rhs);
   const int d = static_cast<int>(delta_columns_.size());
   if (d == 0) return p;
@@ -159,9 +191,32 @@ std::vector<Scalar> DynamicKDash::Solve(NodeId query) {
 }
 
 std::vector<ScoredNode> DynamicKDash::TopK(NodeId query, std::size_t k) {
-  auto scores = Solve(query);
-  auto top = TopKOfVector(scores, k);
-  while (!top.empty() && top.back().score < 1e-13) top.pop_back();
+  return TopKPersonalized({query}, k);
+}
+
+std::vector<ScoredNode> DynamicKDash::TopKPersonalized(
+    const std::vector<NodeId>& sources, std::size_t k,
+    const std::vector<NodeId>& exclude) {
+  const auto scores = SolvePersonalized(sources);
+  TopKHeap heap(k);
+  if (exclude.empty()) {
+    for (std::size_t u = 0; u < scores.size(); ++u) {
+      heap.Push(static_cast<NodeId>(u), scores[u]);
+    }
+  } else {
+    std::vector<bool> excluded(scores.size(), false);
+    for (const NodeId node : exclude) {
+      KDASH_CHECK(node >= 0 && node < num_nodes_) << "excluded node " << node;
+      excluded[static_cast<std::size_t>(node)] = true;
+    }
+    for (std::size_t u = 0; u < scores.size(); ++u) {
+      if (!excluded[u]) heap.Push(static_cast<NodeId>(u), scores[u]);
+    }
+  }
+  auto top = heap.Sorted();
+  // Unreachable nodes carry only numerical noise, not proximity.
+  constexpr Scalar kUnreachableScore = 1e-13;
+  while (!top.empty() && top.back().score < kUnreachableScore) top.pop_back();
   return top;
 }
 

@@ -27,6 +27,7 @@
 #include <map>
 #include <vector>
 
+#include "common/status.h"
 #include "common/top_k.h"
 #include "common/types.h"
 #include "graph/graph.h"
@@ -47,16 +48,31 @@ class DynamicKDash {
   DynamicKDash(const graph::Graph& graph, const DynamicKDashOptions& options);
 
   // Edge mutations. AddEdge on an existing edge adds weight; RemoveEdge
-  // aborts if the edge does not exist. Both are O(out-degree) plus a
-  // deferred O(solve) refresh on the next query.
-  void AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
-  void RemoveEdge(NodeId src, NodeId dst);
+  // returns kNotFound if the edge does not exist; both return
+  // kInvalidArgument on out-of-range endpoints or a non-positive weight.
+  // Both are O(out-degree) plus a deferred O(solve) refresh on the next
+  // query.
+  Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
+  Status RemoveEdge(NodeId src, NodeId dst);
 
   // Exact proximity vector under the *current* graph.
   std::vector<Scalar> Solve(NodeId query);
 
-  // Exact top-k under the current graph.
+  // Exact proximity vector for a uniform restart over `sources` (the
+  // personalized restart-set semantics of KDashSearcher::TopKPersonalized,
+  // exact by linearity of W⁻¹). Sources must be in range and are deduped.
+  std::vector<Scalar> SolvePersonalized(const std::vector<NodeId>& sources);
+
+  // Exact top-k under the current graph. Unreachable nodes (proximity ~ 0)
+  // are not answers, matching the static searcher's reachable-only results.
   std::vector<ScoredNode> TopK(NodeId query, std::size_t k);
+
+  // Personalized variant with an optional exclusion set (nodes barred from
+  // the result; must be in range). This is the updatable Engine backend's
+  // query primitive.
+  std::vector<ScoredNode> TopKPersonalized(
+      const std::vector<NodeId>& sources, std::size_t k,
+      const std::vector<NodeId>& exclude = {});
 
   // Number of columns currently represented as a correction.
   int pending_columns() const { return static_cast<int>(delta_columns_.size()); }

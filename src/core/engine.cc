@@ -1,0 +1,306 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "core/batch.h"
+#include "core/dynamic.h"
+
+namespace kdash {
+
+// The facade's moving parts. Static engines own the immutable KDashIndex
+// plus two kinds of reusable searcher workspace: a checkout list for
+// concurrent single-query Search (each caller borrows a private searcher,
+// so N threads search truly in parallel) and a lazily created SearcherPool
+// for SearchBatch (serialized per batch — the pool itself is single-caller,
+// but batches from different threads queue on the mutex rather than abort).
+// Updatable engines own a DynamicKDash whose correction state is shared,
+// so every operation on it takes the exclusive lock.
+struct Engine::Impl {
+  EngineOptions options;
+  NodeId num_nodes = 0;
+  Scalar restart_prob = 0.0;
+
+  // Static backend.
+  std::unique_ptr<core::KDashIndex> index;
+  mutable std::mutex searcher_mutex;
+  mutable std::vector<std::unique_ptr<core::KDashSearcher>> idle_searchers;
+  mutable std::mutex batch_mutex;
+  mutable std::unique_ptr<core::SearcherPool> batch_pool;
+
+  // Updatable backend.
+  std::unique_ptr<core::DynamicKDash> dynamic;
+  mutable std::mutex dynamic_mutex;
+
+  std::unique_ptr<core::KDashSearcher> AcquireSearcher() const {
+    {
+      std::lock_guard<std::mutex> lock(searcher_mutex);
+      if (!idle_searchers.empty()) {
+        auto searcher = std::move(idle_searchers.back());
+        idle_searchers.pop_back();
+        return searcher;
+      }
+    }
+    return std::make_unique<core::KDashSearcher>(index.get());
+  }
+
+  void ReleaseSearcher(std::unique_ptr<core::KDashSearcher> searcher) const {
+    std::lock_guard<std::mutex> lock(searcher_mutex);
+    idle_searchers.push_back(std::move(searcher));
+  }
+
+  core::SearcherPool& BatchPool() const {
+    if (batch_pool == nullptr) {
+      batch_pool = std::make_unique<core::SearcherPool>(
+          index.get(), options.num_search_threads);
+    }
+    return *batch_pool;
+  }
+};
+
+namespace {
+
+Status ValidateNode(const char* what, NodeId node, NodeId num_nodes) {
+  if (node < 0 || node >= num_nodes) {
+    return Status::InvalidArgument(
+        std::string(what) + " node " + std::to_string(node) +
+        " out of range [0, " + std::to_string(num_nodes) + ")");
+  }
+  return Status::Ok();
+}
+
+Status ValidateQuery(const Query& query, NodeId num_nodes, bool updatable) {
+  if (query.k == 0) {
+    return Status::InvalidArgument("query k must be >= 1");
+  }
+  if (query.sources.empty()) {
+    return Status::InvalidArgument("query has an empty source set");
+  }
+  for (const NodeId source : query.sources) {
+    KDASH_RETURN_IF_ERROR(ValidateNode("source", source, num_nodes));
+  }
+  for (const NodeId node : query.exclude) {
+    KDASH_RETURN_IF_ERROR(ValidateNode("excluded", node, num_nodes));
+  }
+  if (query.exclude.size() > 1) {
+    std::vector<NodeId> sorted_exclude = query.exclude;
+    std::sort(sorted_exclude.begin(), sorted_exclude.end());
+    const auto dup =
+        std::adjacent_find(sorted_exclude.begin(), sorted_exclude.end());
+    if (dup != sorted_exclude.end()) {
+      return Status::InvalidArgument("duplicate excluded node " +
+                                     std::to_string(*dup));
+    }
+  }
+  if (query.root_override != kInvalidNode) {
+    if (updatable) {
+      return Status::Unimplemented(
+          "root_override is a static-engine BFS diagnostic; updatable "
+          "engines have no BFS tree");
+    }
+    if (query.sources.size() > 1) {
+      return Status::InvalidArgument(
+          "root_override requires a single-source query");
+    }
+    KDASH_RETURN_IF_ERROR(
+        ValidateNode("root_override", query.root_override, num_nodes));
+  }
+  return Status::Ok();
+}
+
+// Runs one pre-validated query on a borrowed static-backend searcher.
+SearchResult RunOnSearcher(core::KDashSearcher& searcher, const Query& query) {
+  core::SearchOptions options;
+  options.use_pruning = query.use_pruning;
+  options.root_override = query.root_override;
+  // Borrow rather than copy the exclusion set — `query` outlives the call,
+  // and a per-query O(|exclude|) copy would sit on the hot serving path.
+  options.exclude = &query.exclude;
+  SearchResult result;
+  if (query.sources.size() == 1) {
+    result.top =
+        searcher.TopK(query.sources.front(), query.k, options, &result.stats);
+  } else {
+    result.top = searcher.TopKPersonalized(query.sources, query.k, options,
+                                           &result.stats);
+  }
+  return result;
+}
+
+// Runs one pre-validated query against the updatable backend. The solve is
+// global (no BFS pruning — the Woodbury correction term touches every
+// node), so stats report a full scan.
+SearchResult RunOnDynamic(core::DynamicKDash& dynamic, const Query& query) {
+  SearchResult result;
+  result.top =
+      dynamic.TopKPersonalized(query.sources, query.k, query.exclude);
+  const NodeId n = dynamic.num_nodes();
+  result.stats.nodes_visited = n;
+  result.stats.proximity_computations = n;
+  result.stats.terminated_early = false;
+  result.stats.tree_size = n;
+  return result;
+}
+
+Status ValidateOptions(const EngineOptions& options) {
+  const Scalar c = options.index.restart_prob;
+  if (!(c > 0.0 && c < 1.0)) {
+    return Status::InvalidArgument("restart_prob must be in (0, 1), got " +
+                                   std::to_string(c));
+  }
+  if (options.index.drop_tolerance < 0.0) {
+    return Status::InvalidArgument("drop_tolerance must be >= 0");
+  }
+  if (options.index.num_threads < 0 || options.num_search_threads < 0) {
+    return Status::InvalidArgument("thread counts must be >= 0");
+  }
+  if (options.updatable && options.max_pending_columns < 1) {
+    return Status::InvalidArgument("max_pending_columns must be >= 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Engine::Engine(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+Engine::~Engine() = default;
+
+Result<Engine> Engine::Build(const graph::Graph& graph,
+                             const EngineOptions& options) {
+  KDASH_RETURN_IF_ERROR(ValidateOptions(options));
+  if (graph.num_nodes() <= 0) {
+    return Status::InvalidArgument("cannot build an engine over an empty "
+                                   "graph");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->num_nodes = graph.num_nodes();
+  impl->restart_prob = options.index.restart_prob;
+  if (options.updatable) {
+    core::DynamicKDashOptions dynamic_options;
+    dynamic_options.restart_prob = options.index.restart_prob;
+    dynamic_options.max_pending_columns = options.max_pending_columns;
+    impl->dynamic =
+        std::make_unique<core::DynamicKDash>(graph, dynamic_options);
+  } else {
+    impl->index = std::make_unique<core::KDashIndex>(
+        core::KDashIndex::Build(graph, options.index));
+  }
+  return Engine(std::move(impl));
+}
+
+Result<Engine> Engine::WrapLoadedIndex(Result<core::KDashIndex> loaded) {
+  KDASH_ASSIGN_OR_RETURN(auto index, std::move(loaded));
+  auto impl = std::make_unique<Impl>();
+  impl->options.index = index.options();
+  impl->num_nodes = index.num_nodes();
+  impl->restart_prob = index.restart_prob();
+  impl->index = std::make_unique<core::KDashIndex>(std::move(index));
+  return Engine(std::move(impl));
+}
+
+namespace {
+
+Status RequireStaticIndex(const core::KDashIndex* index) {
+  if (index == nullptr) {
+    return Status::FailedPrecondition(
+        "updatable engines cannot be saved (their factorization tracks a "
+        "mutating graph); build a static engine to persist");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Engine> Engine::Open(std::istream& in) {
+  return WrapLoadedIndex(core::KDashIndex::Load(in));
+}
+
+Result<Engine> Engine::Open(const std::string& path) {
+  return WrapLoadedIndex(core::KDashIndex::LoadFile(path));
+}
+
+Status Engine::Save(std::ostream& out) const {
+  KDASH_RETURN_IF_ERROR(RequireStaticIndex(impl_->index.get()));
+  return impl_->index->Save(out);
+}
+
+Status Engine::Save(const std::string& path) const {
+  KDASH_RETURN_IF_ERROR(RequireStaticIndex(impl_->index.get()));
+  return impl_->index->SaveFile(path);
+}
+
+Result<SearchResult> Engine::Search(const Query& query) const {
+  KDASH_RETURN_IF_ERROR(
+      ValidateQuery(query, impl_->num_nodes, impl_->dynamic != nullptr));
+  if (impl_->dynamic != nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+    return RunOnDynamic(*impl_->dynamic, query);
+  }
+  auto searcher = impl_->AcquireSearcher();
+  SearchResult result = RunOnSearcher(*searcher, query);
+  impl_->ReleaseSearcher(std::move(searcher));
+  return result;
+}
+
+Result<std::vector<SearchResult>> Engine::SearchBatch(
+    std::span<const Query> queries) const {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Status status = ValidateQuery(queries[i], impl_->num_nodes,
+                                        impl_->dynamic != nullptr);
+    if (!status.ok()) {
+      return Status(status.code(), "query " + std::to_string(i) + ": " +
+                                       status.message());
+    }
+  }
+  std::vector<SearchResult> results(queries.size());
+  if (impl_->dynamic != nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      results[i] = RunOnDynamic(*impl_->dynamic, queries[i]);
+    }
+    return results;
+  }
+  std::lock_guard<std::mutex> lock(impl_->batch_mutex);
+  impl_->BatchPool().ForEach(
+      queries.size(), [&](core::KDashSearcher& searcher, std::size_t i) {
+        results[i] = RunOnSearcher(searcher, queries[i]);
+      });
+  return results;
+}
+
+Status Engine::AddEdge(NodeId src, NodeId dst, Scalar weight) {
+  if (impl_->dynamic == nullptr) {
+    return Status::FailedPrecondition(
+        "engine is not updatable; build with EngineOptions::updatable to "
+        "accept edge updates");
+  }
+  std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+  return impl_->dynamic->AddEdge(src, dst, weight);
+}
+
+Status Engine::RemoveEdge(NodeId src, NodeId dst) {
+  if (impl_->dynamic == nullptr) {
+    return Status::FailedPrecondition(
+        "engine is not updatable; build with EngineOptions::updatable to "
+        "accept edge updates");
+  }
+  std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+  return impl_->dynamic->RemoveEdge(src, dst);
+}
+
+NodeId Engine::num_nodes() const { return impl_->num_nodes; }
+Scalar Engine::restart_prob() const { return impl_->restart_prob; }
+bool Engine::updatable() const { return impl_->dynamic != nullptr; }
+
+const core::KDashIndex& Engine::index() const {
+  KDASH_CHECK(impl_->index != nullptr)
+      << "Engine::index() on an updatable engine";
+  return *impl_->index;
+}
+
+}  // namespace kdash

@@ -1,0 +1,169 @@
+// kdash::Engine — the single serving facade of the library.
+//
+// The paper-artifact API (KDashIndex + KDashSearcher + SearcherPool + free
+// batch functions, positional arguments, borrowed exclusion pointers,
+// abort-on-bad-file loading) is the wrong surface for a long-lived server.
+// Engine replaces that three-class dance with one thread-safe handle:
+//
+//   KDASH_ASSIGN_OR_RETURN(auto engine, Engine::Open("social.kdash"));
+//   Query query = Query::Single(123, /*k=*/10);
+//   query.exclude = {45, 99};
+//   KDASH_ASSIGN_OR_RETURN(auto result, engine.Search(query));
+//
+// Contracts:
+//   - Every failure the caller can provoke (bad file, out-of-range node,
+//     empty source set, duplicate excludes, unsupported operation) comes
+//     back as a Status/Result — the process never aborts on bad input.
+//   - Search and SearchBatch are safe to call concurrently from any number
+//     of threads on one Engine, and their results are bit-identical to
+//     sequential execution (searchers are deterministic; the engine only
+//     adds workspace reuse, never reordering of floating-point work).
+//   - An Engine is either *static* (immutable precomputed index — the
+//     paper's K-dash, milliseconds per query) or *updatable*
+//     (EngineOptions::updatable — Woodbury-corrected exact solves that
+//     absorb AddEdge/RemoveEdge without refactorizing). The Query surface
+//     is the same for both.
+#ifndef KDASH_CORE_ENGINE_H_
+#define KDASH_CORE_ENGINE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/top_k.h"
+#include "common/types.h"
+#include "core/kdash_index.h"
+#include "core/kdash_searcher.h"
+
+namespace kdash {
+
+struct EngineOptions {
+  // Precompute knobs for the underlying index (restart probability,
+  // reordering, threads, ...).
+  core::KDashOptions index;
+
+  // Build an updatable engine: AddEdge/RemoveEdge are accepted and queries
+  // stay exact under the mutated graph (Woodbury correction over the base
+  // factorization, auto-refactorize after `max_pending_columns` distinct
+  // changed columns). Updatable engines serve queries under an exclusive
+  // lock (the correction state is shared) and cannot be Saved/Opened.
+  bool updatable = false;
+  int max_pending_columns = 64;
+
+  // Worker threads for SearchBatch on a static engine. 0 = the process-wide
+  // shared pool (KDASH_NUM_THREADS workers).
+  int num_search_threads = 0;
+};
+
+// A fully-typed, self-contained query: no positional-argument juggling, no
+// borrowed pointers. One source = the paper's single-source top-k RWR;
+// several sources = the personalized restart-set query (uniform restart
+// over the deduplicated sources).
+struct Query {
+  // Restart set. Must be non-empty, every id in [0, num_nodes).
+  std::vector<NodeId> sources;
+
+  // How many results to return (fewer come back when fewer nodes are
+  // reachable). Must be ≥ 1.
+  std::size_t k = 10;
+
+  // Owned exclusion set: nodes barred from the result while still feeding
+  // the pruning estimator, so the answer is the exact top-k of the allowed
+  // nodes. Must be duplicate-free and in range.
+  std::vector<NodeId> exclude;
+
+  // Diagnostics (Figure 7 / Figure 9 of the paper). `use_pruning = false`
+  // disables tree-estimation pruning; `root_override` roots the BFS tree
+  // at a non-query node (single-source static queries only — results are
+  // then not guaranteed exact).
+  bool use_pruning = true;
+  NodeId root_override = kInvalidNode;
+
+  static Query Single(NodeId source, std::size_t k = 10) {
+    Query query;
+    query.sources = {source};
+    query.k = k;
+    return query;
+  }
+
+  static Query Personalized(std::vector<NodeId> sources, std::size_t k = 10) {
+    Query query;
+    query.sources = std::move(sources);
+    query.k = k;
+    return query;
+  }
+};
+
+struct SearchResult {
+  std::vector<ScoredNode> top;  // ranked best-first
+  core::SearchStats stats;
+};
+
+class Engine {
+ public:
+  // Precompute an index for `graph` (or, with options.updatable, factorize
+  // it for update-friendly serving). Returns kInvalidArgument for an empty
+  // graph or out-of-range options instead of aborting.
+  static Result<Engine> Build(const graph::Graph& graph,
+                              const EngineOptions& options = {});
+
+  // Open a previously saved index. Corrupt, truncated, or
+  // version-mismatched files come back as non-OK (kDataLoss /
+  // kFailedPrecondition), a missing file as kNotFound.
+  static Result<Engine> Open(const std::string& path);
+  static Result<Engine> Open(std::istream& in);
+
+  // Persist a static engine's index. kFailedPrecondition for updatable
+  // engines (their factorization tracks a mutating graph).
+  Status Save(const std::string& path) const;
+  Status Save(std::ostream& out) const;
+
+  // Answer one query. Validates every input (source/exclude ids in range,
+  // non-empty sources, duplicate-free excludes, k ≥ 1) and returns
+  // kInvalidArgument with a precise message on violation. Thread-safe.
+  Result<SearchResult> Search(const Query& query) const;
+
+  // Answer a batch; results[i] answers queries[i]. On a static engine the
+  // batch fans out over the internal SearcherPool; any invalid query fails
+  // the whole batch (use Search per query for per-query error handling —
+  // the CLI batch mode does). Thread-safe.
+  Result<std::vector<SearchResult>> SearchBatch(
+      std::span<const Query> queries) const;
+
+  // Graph mutation (updatable engines only; kFailedPrecondition otherwise).
+  // RemoveEdge of an absent edge returns kNotFound. Exclusive with
+  // concurrent searches — callers see either the old or the new graph,
+  // never a torn state.
+  Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
+  Status RemoveEdge(NodeId src, NodeId dst);
+
+  NodeId num_nodes() const;
+  Scalar restart_prob() const;
+  bool updatable() const;
+
+  // The underlying precomputed index (static engines only — aborts on an
+  // updatable engine, which has no KDashIndex). For stats/introspection;
+  // new serving features should extend Engine instead.
+  const core::KDashIndex& index() const;
+
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+ private:
+  struct Impl;
+  explicit Engine(std::unique_ptr<Impl> impl);
+  // Shared tail of the two Open overloads.
+  static Result<Engine> WrapLoadedIndex(Result<core::KDashIndex> loaded);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kdash
+
+#endif  // KDASH_CORE_ENGINE_H_

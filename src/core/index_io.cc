@@ -1,10 +1,19 @@
 // Binary persistence of KDashIndex (Save/Load declared in kdash_index.h).
+//
+// Every read is checked: a truncated, corrupt, or version-mismatched stream
+// comes back as a non-OK Status instead of aborting the process. Vector
+// lengths are validated against the bytes actually remaining in the stream
+// (when it is seekable) before allocation, so a corrupt length field cannot
+// trigger a huge allocation.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <type_traits>
 
-#include "common/check.h"
+#include "common/status.h"
 #include "core/kdash_index.h"
 
 namespace kdash::core {
@@ -21,33 +30,12 @@ void WritePod(std::ostream& out, const T& value) {
 }
 
 template <typename T>
-T ReadPod(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  KDASH_CHECK(in.good()) << "truncated index stream";
-  return value;
-}
-
-template <typename T>
 void WriteVector(std::ostream& out, const std::vector<T>& values) {
   WritePod(out, static_cast<std::uint64_t>(values.size()));
   if (!values.empty()) {
     out.write(reinterpret_cast<const char*>(values.data()),
               static_cast<std::streamsize>(values.size() * sizeof(T)));
   }
-}
-
-template <typename T>
-std::vector<T> ReadVector(std::istream& in) {
-  const auto size = ReadPod<std::uint64_t>(in);
-  std::vector<T> values(static_cast<std::size_t>(size));
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(values.data()),
-            static_cast<std::streamsize>(size * sizeof(T)));
-    KDASH_CHECK(in.good()) << "truncated index stream";
-  }
-  return values;
 }
 
 void WriteCsc(std::ostream& out, const sparse::CscMatrix& m) {
@@ -58,16 +46,6 @@ void WriteCsc(std::ostream& out, const sparse::CscMatrix& m) {
   WriteVector(out, m.values());
 }
 
-sparse::CscMatrix ReadCsc(std::istream& in) {
-  const NodeId rows = ReadPod<NodeId>(in);
-  const NodeId cols = ReadPod<NodeId>(in);
-  auto ptr = ReadVector<Index>(in);
-  auto idx = ReadVector<NodeId>(in);
-  auto vals = ReadVector<Scalar>(in);
-  return sparse::CscMatrix(rows, cols, std::move(ptr), std::move(idx),
-                           std::move(vals));
-}
-
 void WriteCsr(std::ostream& out, const sparse::CsrMatrix& m) {
   WritePod(out, m.rows());
   WritePod(out, m.cols());
@@ -76,19 +54,161 @@ void WriteCsr(std::ostream& out, const sparse::CsrMatrix& m) {
   WriteVector(out, m.values());
 }
 
-sparse::CsrMatrix ReadCsr(std::istream& in) {
-  const NodeId rows = ReadPod<NodeId>(in);
-  const NodeId cols = ReadPod<NodeId>(in);
-  auto ptr = ReadVector<Index>(in);
-  auto idx = ReadVector<NodeId>(in);
-  auto vals = ReadVector<Scalar>(in);
+// Checked reader: every primitive returns a Status, and vector lengths are
+// bounded by the stream's remaining byte count before allocation.
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {
+    const auto pos = in_.tellg();
+    if (pos != std::streampos(-1)) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      in_.seekg(pos);
+      if (end != std::streampos(-1) && in_.good()) {
+        remaining_known_ = true;
+        remaining_ = static_cast<std::uint64_t>(end - pos);
+      }
+    }
+    in_.clear();  // a failed tellg on a non-seekable stream is not an error
+  }
+
+  template <typename T>
+  Status Pod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(out), sizeof(T));
+    if (!in_.good()) return Status::DataLoss("truncated index stream");
+    Consume(sizeof(T));
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status Vec(std::vector<T>* out) {
+    std::uint64_t size = 0;
+    KDASH_RETURN_IF_ERROR(Pod(&size));
+    if (size > std::numeric_limits<std::uint64_t>::max() / sizeof(T) ||
+        (remaining_known_ && size * sizeof(T) > remaining_)) {
+      return Status::DataLoss("corrupt index stream: array length exceeds "
+                             "remaining file size");
+    }
+    out->clear();
+    if (!remaining_known_) {
+      // Non-seekable stream (pipe/socket): the length field cannot be
+      // bounds-checked up front, so grow in bounded chunks — a corrupt
+      // huge length then fails on the first missing byte instead of
+      // attempting one enormous allocation.
+      constexpr std::uint64_t kChunkElems = (1u << 20);
+      std::uint64_t todo = size;
+      while (todo > 0) {
+        const std::uint64_t chunk = std::min(todo, kChunkElems);
+        const std::size_t old_size = out->size();
+        out->resize(old_size + static_cast<std::size_t>(chunk));
+        in_.read(reinterpret_cast<char*>(out->data() + old_size),
+                 static_cast<std::streamsize>(chunk * sizeof(T)));
+        if (!in_.good()) return Status::DataLoss("truncated index stream");
+        todo -= chunk;
+      }
+      return Status::Ok();
+    }
+    out->resize(static_cast<std::size_t>(size));
+    if (size > 0) {
+      const std::uint64_t bytes = size * sizeof(T);
+      in_.read(reinterpret_cast<char*>(out->data()),
+               static_cast<std::streamsize>(bytes));
+      if (!in_.good()) return Status::DataLoss("truncated index stream");
+      Consume(bytes);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void Consume(std::uint64_t bytes) {
+    if (remaining_known_) remaining_ -= bytes;
+  }
+
+  std::istream& in_;
+  bool remaining_known_ = false;
+  std::uint64_t remaining_ = 0;
+};
+
+// Structural validation of compressed-sparse arrays before the matrix
+// constructors run (their Validate() aborts on violation — correct for
+// in-process construction bugs, wrong for untrusted file bytes).
+Status CheckCompressed(const char* what, NodeId minor_dim, NodeId major_dim,
+                       const std::vector<Index>& ptr,
+                       const std::vector<NodeId>& idx,
+                       const std::vector<Scalar>& values) {
+  const auto fail = [&](const std::string& detail) {
+    return Status::DataLoss(std::string("corrupt index stream: ") + what +
+                            " " + detail);
+  };
+  if (minor_dim < 0 || major_dim < 0) return fail("has negative dimensions");
+  if (ptr.size() != static_cast<std::size_t>(major_dim) + 1) {
+    return fail("pointer array has wrong length");
+  }
+  if (ptr.front() != 0 || ptr.back() != static_cast<Index>(idx.size()) ||
+      idx.size() != values.size()) {
+    return fail("pointer/index/value arrays disagree");
+  }
+  for (NodeId major = 0; major < major_dim; ++major) {
+    const Index begin = ptr[static_cast<std::size_t>(major)];
+    const Index end = ptr[static_cast<std::size_t>(major) + 1];
+    if (begin > end) return fail("has a non-monotone pointer array");
+    for (Index k = begin; k < end; ++k) {
+      const NodeId minor = idx[static_cast<std::size_t>(k)];
+      if (minor < 0 || minor >= minor_dim) {
+        return fail("has an out-of-range index");
+      }
+      if (k > begin && idx[static_cast<std::size_t>(k - 1)] >= minor) {
+        return fail("has unsorted or duplicate indices");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<sparse::CscMatrix> ReadCsc(Reader& reader) {
+  NodeId rows = 0, cols = 0;
+  KDASH_RETURN_IF_ERROR(reader.Pod(&rows));
+  KDASH_RETURN_IF_ERROR(reader.Pod(&cols));
+  std::vector<Index> ptr;
+  std::vector<NodeId> idx;
+  std::vector<Scalar> vals;
+  KDASH_RETURN_IF_ERROR(reader.Vec(&ptr));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&idx));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&vals));
+  KDASH_RETURN_IF_ERROR(CheckCompressed("CSC factor", rows, cols, ptr, idx,
+                                        vals));
+  return sparse::CscMatrix(rows, cols, std::move(ptr), std::move(idx),
+                           std::move(vals));
+}
+
+Result<sparse::CsrMatrix> ReadCsr(Reader& reader) {
+  NodeId rows = 0, cols = 0;
+  KDASH_RETURN_IF_ERROR(reader.Pod(&rows));
+  KDASH_RETURN_IF_ERROR(reader.Pod(&cols));
+  std::vector<Index> ptr;
+  std::vector<NodeId> idx;
+  std::vector<Scalar> vals;
+  KDASH_RETURN_IF_ERROR(reader.Vec(&ptr));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&idx));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&vals));
+  KDASH_RETURN_IF_ERROR(CheckCompressed("CSR factor", cols, rows, ptr, idx,
+                                        vals));
   return sparse::CsrMatrix(rows, cols, std::move(ptr), std::move(idx),
                            std::move(vals));
 }
 
+Status CheckSize(const char* what, std::size_t got, std::size_t want) {
+  if (got != want) {
+    return Status::DataLoss(std::string("corrupt index stream: ") + what +
+                            " has wrong length");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-void KDashIndex::Save(std::ostream& out) const {
+Status KDashIndex::Save(std::ostream& out) const {
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
 
@@ -109,60 +229,130 @@ void KDashIndex::Save(std::ostream& out) const {
   WriteVector(out, adjacency_);
 
   WritePod(out, stats_);
-  KDASH_CHECK(out.good()) << "index write failed";
+  out.flush();
+  if (!out.good()) return Status::DataLoss("index write failed");
+  return Status::Ok();
 }
 
-KDashIndex KDashIndex::Load(std::istream& in) {
+Result<KDashIndex> KDashIndex::Load(std::istream& in) {
+  Reader reader(in);
+
   char magic[4] = {};
-  in.read(magic, sizeof(magic));
-  KDASH_CHECK(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
-      << "not a K-dash index stream";
-  const auto version = ReadPod<std::uint32_t>(in);
-  KDASH_CHECK_EQ(version, kVersion);
+  for (char& byte : magic) KDASH_RETURN_IF_ERROR(reader.Pod(&byte));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("not a K-dash index stream");
+  }
+  std::uint32_t version = 0;
+  KDASH_RETURN_IF_ERROR(reader.Pod(&version));
+  if (version != kVersion) {
+    return Status::FailedPrecondition(
+        "index version mismatch: file has version " + std::to_string(version) +
+        ", this build reads version " + std::to_string(kVersion));
+  }
 
   KDashIndex index;
-  index.options_.restart_prob = ReadPod<Scalar>(in);
-  index.options_.reorder_method =
-      static_cast<reorder::Method>(ReadPod<std::int32_t>(in));
-  index.options_.seed = ReadPod<std::uint64_t>(in);
-  index.options_.drop_tolerance = ReadPod<Scalar>(in);
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.options_.restart_prob));
+  if (!(index.options_.restart_prob > 0.0 &&
+        index.options_.restart_prob < 1.0)) {
+    return Status::DataLoss(
+        "corrupt index stream: restart probability outside (0, 1)");
+  }
+  std::int32_t reorder_method = 0;
+  KDASH_RETURN_IF_ERROR(reader.Pod(&reorder_method));
+  if (reorder_method < 0 ||
+      reorder_method > static_cast<std::int32_t>(reorder::Method::kRcm)) {
+    return Status::DataLoss("corrupt index stream: unknown reorder method");
+  }
+  index.options_.reorder_method = static_cast<reorder::Method>(reorder_method);
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.options_.seed));
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.options_.drop_tolerance));
+  if (!(index.options_.drop_tolerance >= 0.0)) {
+    return Status::DataLoss(
+        "corrupt index stream: negative or non-finite drop tolerance");
+  }
 
-  index.num_nodes_ = ReadPod<NodeId>(in);
-  index.amax_ = ReadPod<Scalar>(in);
-  index.amax_of_node_ = ReadVector<Scalar>(in);
-  index.c_prime_of_node_ = ReadVector<Scalar>(in);
-  index.new_of_old_ = ReadVector<NodeId>(in);
-  index.old_of_new_ = ReadVector<NodeId>(in);
-  index.lower_inverse_ = ReadCsc(in);
-  index.upper_inverse_ = ReadCsr(in);
-  index.adjacency_ptr_ = ReadVector<Index>(in);
-  index.adjacency_ = ReadVector<NodeId>(in);
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.num_nodes_));
+  if (index.num_nodes_ < 0) {
+    return Status::DataLoss("corrupt index stream: negative node count");
+  }
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.amax_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.amax_of_node_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.c_prime_of_node_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.new_of_old_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.old_of_new_));
+  KDASH_ASSIGN_OR_RETURN(index.lower_inverse_, ReadCsc(reader));
+  KDASH_ASSIGN_OR_RETURN(index.upper_inverse_, ReadCsr(reader));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.adjacency_ptr_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&index.adjacency_));
 
-  index.stats_ = ReadPod<PrecomputeStats>(in);
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.stats_));
 
   // Structural sanity before the index is used for queries.
   const auto n = static_cast<std::size_t>(index.num_nodes_);
-  KDASH_CHECK_EQ(index.amax_of_node_.size(), n);
-  KDASH_CHECK_EQ(index.c_prime_of_node_.size(), n);
-  KDASH_CHECK_EQ(index.new_of_old_.size(), n);
-  KDASH_CHECK_EQ(index.old_of_new_.size(), n);
-  KDASH_CHECK_EQ(index.adjacency_ptr_.size(), n + 1);
-  KDASH_CHECK_EQ(static_cast<std::size_t>(index.lower_inverse_.rows()), n);
-  KDASH_CHECK_EQ(static_cast<std::size_t>(index.upper_inverse_.rows()), n);
-  index.lower_inverse_.Validate();
-  index.upper_inverse_.Validate();
+  KDASH_RETURN_IF_ERROR(CheckSize("amax table", index.amax_of_node_.size(), n));
+  KDASH_RETURN_IF_ERROR(
+      CheckSize("c' table", index.c_prime_of_node_.size(), n));
+  KDASH_RETURN_IF_ERROR(
+      CheckSize("permutation", index.new_of_old_.size(), n));
+  KDASH_RETURN_IF_ERROR(
+      CheckSize("inverse permutation", index.old_of_new_.size(), n));
+  KDASH_RETURN_IF_ERROR(
+      CheckSize("adjacency pointers", index.adjacency_ptr_.size(), n + 1));
+  if (static_cast<std::size_t>(index.lower_inverse_.rows()) != n ||
+      static_cast<std::size_t>(index.lower_inverse_.cols()) != n ||
+      static_cast<std::size_t>(index.upper_inverse_.rows()) != n ||
+      static_cast<std::size_t>(index.upper_inverse_.cols()) != n) {
+    return Status::DataLoss(
+        "corrupt index stream: factor dimensions disagree with node count");
+  }
+  // The two permutations must be mutually inverse bijections of [0, n) —
+  // this also range-checks every entry of both arrays.
+  for (std::size_t old_id = 0; old_id < n; ++old_id) {
+    const NodeId mapped = index.new_of_old_[old_id];
+    if (mapped < 0 || static_cast<std::size_t>(mapped) >= n ||
+        index.old_of_new_[static_cast<std::size_t>(mapped)] !=
+            static_cast<NodeId>(old_id)) {
+      return Status::DataLoss(
+          "corrupt index stream: node permutations are not mutually "
+          "inverse");
+    }
+  }
+  if (!index.adjacency_ptr_.empty()) {
+    if (index.adjacency_ptr_.front() != 0 ||
+        index.adjacency_ptr_.back() !=
+            static_cast<Index>(index.adjacency_.size())) {
+      return Status::DataLoss("corrupt index stream: adjacency pointers "
+                              "disagree with edge array");
+    }
+    for (std::size_t u = 0; u < n; ++u) {
+      if (index.adjacency_ptr_[u] > index.adjacency_ptr_[u + 1]) {
+        return Status::DataLoss(
+            "corrupt index stream: non-monotone adjacency pointers");
+      }
+    }
+    for (const NodeId v : index.adjacency_) {
+      if (v < 0 || static_cast<std::size_t>(v) >= n) {
+        return Status::DataLoss(
+            "corrupt index stream: adjacency target out of range");
+      }
+    }
+  }
   return index;
 }
 
-void KDashIndex::SaveFile(const std::string& path) const {
+Status KDashIndex::SaveFile(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
-  KDASH_CHECK(out.good()) << "cannot open " << path;
-  Save(out);
+  if (!out.good()) {
+    return Status::FailedPrecondition("cannot open " + path + " for writing");
+  }
+  return Save(out);
 }
 
-KDashIndex KDashIndex::LoadFile(const std::string& path) {
+Result<KDashIndex> KDashIndex::LoadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  KDASH_CHECK(in.good()) << "cannot open " << path;
+  if (!in.good()) {
+    return Status::NotFound("cannot open " + path);
+  }
   return Load(in);
 }
 

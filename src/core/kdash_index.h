@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "graph/graph.h"
 #include "reorder/reorder.h"
@@ -65,12 +66,16 @@ class KDashIndex {
 
   // Persistence. The precompute is the expensive offline step of the paper
   // (hours at full dataset scale), so indexes can be saved and reloaded.
-  // The format is a versioned native-endian binary dump; Load aborts on a
-  // magic/version mismatch or truncated stream.
-  void Save(std::ostream& out) const;
-  static KDashIndex Load(std::istream& in);
-  void SaveFile(const std::string& path) const;
-  static KDashIndex LoadFile(const std::string& path);
+  // The format is a versioned native-endian binary dump. All failure modes
+  // are recoverable: Load returns kDataLoss on a corrupt/truncated stream,
+  // kFailedPrecondition on a version mismatch, and the File variants return
+  // kNotFound/kFailedPrecondition when the file cannot be opened — the
+  // process never aborts on bad input, which is what lets a long-lived
+  // server treat index files as untrusted.
+  Status Save(std::ostream& out) const;
+  static Result<KDashIndex> Load(std::istream& in);
+  Status SaveFile(const std::string& path) const;
+  static Result<KDashIndex> LoadFile(const std::string& path);
 
   NodeId num_nodes() const { return num_nodes_; }
   Scalar restart_prob() const { return options_.restart_prob; }

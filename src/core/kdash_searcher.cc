@@ -64,10 +64,11 @@ std::vector<ScoredNode> KDashSearcher::Search(
     const SearchOptions& options, SearchStats* stats) {
   KDASH_CHECK(k > 0);
 
-  // Mark the exclusion set (cleared at the end of the query).
+  // Mark the exclusion set (cleared at the end of the query): the owned
+  // list plus, for one deprecation cycle, the borrowed legacy pointer.
   excluded_rows_.clear();
-  if (options.exclude != nullptr) {
-    for (const NodeId node : *options.exclude) {
+  const auto mark_excluded = [&](const std::vector<NodeId>& nodes) {
+    for (const NodeId node : nodes) {
       KDASH_CHECK(node >= 0 && node < index_->num_nodes())
           << "excluded node " << node;
       if (!excluded_[static_cast<std::size_t>(node)]) {
@@ -75,7 +76,9 @@ std::vector<ScoredNode> KDashSearcher::Search(
         excluded_rows_.push_back(node);
       }
     }
-  }
+  };
+  mark_excluded(options.excluded);
+  if (options.exclude != nullptr) mark_excluded(*options.exclude);
 
   // Step 1: y = L⁻¹ q — accumulate the stored sparse columns of the
   // inverse lower factor, one per source, scaled by the restart weight.

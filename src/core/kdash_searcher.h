@@ -43,7 +43,17 @@ struct SearchOptions {
   // user already rated, or the query node itself). Excluded nodes are
   // still visited and selected — their exact proximities feed the
   // estimator — they just never enter the top-k heap, so the returned k
-  // are exactly the best k among the allowed nodes. Must outlive the call.
+  // are exactly the best k among the allowed nodes. Duplicates are
+  // harmless; owned by the options, no lifetime to manage.
+  std::vector<NodeId> excluded;
+
+  // DEPRECATED shim, removed next release: borrowed exclusion list that the
+  // caller must keep alive across the call (a dangling-pointer footgun —
+  // prefer `excluded`, or `Query::exclude` on the Engine API). When both
+  // are set the union is excluded. Engine::Search borrows through this
+  // field internally to avoid a per-query copy; when the shim is removed,
+  // it must be replaced by a non-deprecated non-owning view (std::span),
+  // not deleted outright.
   const std::vector<NodeId>* exclude = nullptr;
 };
 

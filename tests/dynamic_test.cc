@@ -55,7 +55,7 @@ TEST(DynamicTest, NoUpdatesMatchesStaticSolve) {
 TEST(DynamicTest, SingleEdgeAdditionExact) {
   const auto g = test::RandomDirectedGraph(60, 350, 12);
   DynamicKDash dynamic(g, {});
-  dynamic.AddEdge(3, 40, 2.0);
+  ASSERT_TRUE(dynamic.AddEdge(3, 40, 2.0).ok());
   EXPECT_EQ(dynamic.pending_columns(), 1);
 
   const auto p = dynamic.Solve(3);
@@ -73,7 +73,7 @@ TEST(DynamicTest, EdgeRemovalExact) {
   const NodeId dst = g.OutNeighbors(src)[0].node;
 
   DynamicKDash dynamic(g, {});
-  dynamic.RemoveEdge(src, dst);
+  ASSERT_TRUE(dynamic.RemoveEdge(src, dst).ok());
   const auto p = dynamic.Solve(src);
   const auto truth = TruthAfterMutations(g, {}, {{src, dst}}, src, 0.95);
   for (std::size_t u = 0; u < p.size(); ++u) {
@@ -94,7 +94,7 @@ TEST(DynamicTest, ManyMixedUpdatesExact) {
     const NodeId dst = rng.NextNode(100);
     if (src == dst) continue;
     const Scalar weight = 0.5 + rng.NextDouble();
-    dynamic.AddEdge(src, dst, weight);
+    ASSERT_TRUE(dynamic.AddEdge(src, dst, weight).ok());
     additions.emplace_back(src, dst, weight);
   }
   EXPECT_EQ(dynamic.rebuild_count(), 1);  // only the constructor's build
@@ -115,7 +115,7 @@ TEST(DynamicTest, AutoRebuildKicksIn) {
   DynamicKDash dynamic(g, options);
   Rng rng(17);
   for (int e = 0; e < 12; ++e) {
-    dynamic.AddEdge(rng.NextNode(80), rng.NextNode(80), 1.0);
+    ASSERT_TRUE(dynamic.AddEdge(rng.NextNode(80), rng.NextNode(80), 1.0).ok());
   }
   EXPECT_GT(dynamic.rebuild_count(), 1);
   EXPECT_LE(dynamic.pending_columns(), 4);
@@ -124,8 +124,8 @@ TEST(DynamicTest, AutoRebuildKicksIn) {
 TEST(DynamicTest, ManualRebuildPreservesAnswers) {
   const auto g = test::RandomDirectedGraph(70, 400, 18);
   DynamicKDash dynamic(g, {});
-  dynamic.AddEdge(1, 50, 3.0);
-  dynamic.AddEdge(2, 60, 1.5);
+  ASSERT_TRUE(dynamic.AddEdge(1, 50, 3.0).ok());
+  ASSERT_TRUE(dynamic.AddEdge(2, 60, 1.5).ok());
   const auto before = dynamic.Solve(1);
   dynamic.Rebuild();
   EXPECT_EQ(dynamic.pending_columns(), 0);
@@ -147,17 +147,51 @@ TEST(DynamicTest, TopKTracksUpdates) {
   for (const auto& entry : before) target_in_before |= entry.node == target;
   EXPECT_FALSE(target_in_before);
 
-  dynamic.AddEdge(query, target, 500.0);  // dominate the query's out-mass
+  // Dominate the query's out-mass.
+  ASSERT_TRUE(dynamic.AddEdge(query, target, 500.0).ok());
   const auto after = dynamic.TopK(query, 5);
   ASSERT_GE(after.size(), 2u);
   EXPECT_EQ(after[0].node, query);
   EXPECT_EQ(after[1].node, target);
 }
 
-TEST(DynamicTest, RemoveNonexistentEdgeDies) {
+TEST(DynamicTest, RemoveNonexistentEdgeIsNotFound) {
   const auto g = test::SmallDirectedGraph();
   DynamicKDash dynamic(g, {});
-  EXPECT_DEATH(dynamic.RemoveEdge(0, 4), "does not exist");
+  const Status status = dynamic.RemoveEdge(0, 4);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("does not exist"), std::string::npos);
+}
+
+TEST(DynamicTest, OutOfRangeEdgeUpdatesAreInvalidArgument) {
+  const auto g = test::SmallDirectedGraph();
+  DynamicKDash dynamic(g, {});
+  EXPECT_EQ(dynamic.AddEdge(-1, 0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dynamic.AddEdge(0, g.num_nodes()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(dynamic.AddEdge(0, 1, -2.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dynamic.RemoveEdge(g.num_nodes(), 0).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DynamicTest, SolvePersonalizedMatchesAverageOfSolves) {
+  const auto g = test::RandomDirectedGraph(70, 400, 21);
+  DynamicKDash dynamic(g, {});
+  // Exercise the correction path too.
+  ASSERT_TRUE(dynamic.AddEdge(2, 30, 1.5).ok());
+  const std::vector<NodeId> sources{3, 10, 44};
+  const auto personalized = dynamic.SolvePersonalized(sources);
+  std::vector<Scalar> average(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (const NodeId s : sources) {
+    const auto p = dynamic.Solve(s);
+    for (std::size_t u = 0; u < p.size(); ++u) {
+      average[u] += p[u] / static_cast<Scalar>(sources.size());
+    }
+  }
+  for (std::size_t u = 0; u < average.size(); ++u) {
+    EXPECT_NEAR(personalized[u], average[u], 1e-10) << "u=" << u;
+  }
 }
 
 }  // namespace

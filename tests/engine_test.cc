@@ -1,0 +1,364 @@
+// kdash::Engine — the serving facade. Covers recoverable open/build errors,
+// query validation at the API boundary, agreement with the underlying
+// searcher/batch internals, persistence round trips, and the updatable
+// (dynamic) backend.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "core/kdash_searcher.h"
+#include "rwr/power_iteration.h"
+#include "test_util.h"
+
+namespace kdash {
+namespace {
+
+EngineOptions StaticOptions() { return EngineOptions{}; }
+
+EngineOptions UpdatableOptions() {
+  EngineOptions options;
+  options.updatable = true;
+  return options;
+}
+
+TEST(EngineTest, BuildRejectsEmptyGraph) {
+  const graph::Graph empty = graph::GraphBuilder(0).Build();
+  const auto engine = Engine::Build(empty, StaticOptions());
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, BuildRejectsBadOptions) {
+  const auto g = test::SmallDirectedGraph();
+  EngineOptions bad_c;
+  bad_c.index.restart_prob = 1.5;
+  EXPECT_EQ(Engine::Build(g, bad_c).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EngineOptions bad_pending = UpdatableOptions();
+  bad_pending.max_pending_columns = 0;
+  EXPECT_EQ(Engine::Build(g, bad_pending).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SearchMatchesSearcherInternals) {
+  const auto g = test::RandomDirectedGraph(120, 800, 201);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  const core::KDashIndex index = core::KDashIndex::Build(g, {});
+  core::KDashSearcher searcher(&index);
+
+  for (const NodeId q : {0, 17, 63, 119}) {
+    const auto got = engine->Search(Query::Single(q, 10));
+    ASSERT_TRUE(got.ok()) << got.status();
+    core::SearchStats want_stats;
+    const auto want = searcher.TopK(q, 10, {}, &want_stats);
+    ASSERT_EQ(got->top.size(), want.size()) << "q=" << q;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got->top[i].node, want[i].node);
+      EXPECT_DOUBLE_EQ(got->top[i].score, want[i].score);
+    }
+    EXPECT_EQ(got->stats.nodes_visited, want_stats.nodes_visited);
+    EXPECT_EQ(got->stats.proximity_computations,
+              want_stats.proximity_computations);
+  }
+}
+
+TEST(EngineTest, PersonalizedAndExclusionQueries) {
+  const auto g = test::RandomDirectedGraph(100, 700, 202);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  Query query = Query::Personalized({3, 40, 77}, 8);
+  query.exclude = {3, 40, 77};
+  const auto result = engine->Search(query);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const auto& entry : result->top) {
+    EXPECT_NE(entry.node, 3);
+    EXPECT_NE(entry.node, 40);
+    EXPECT_NE(entry.node, 77);
+  }
+
+  const core::KDashIndex index = core::KDashIndex::Build(g, {});
+  core::KDashSearcher searcher(&index);
+  core::SearchOptions options;
+  options.excluded = query.exclude;
+  const auto want = searcher.TopKPersonalized({3, 40, 77}, 8, options);
+  ASSERT_EQ(result->top.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(result->top[i].node, want[i].node);
+    EXPECT_DOUBLE_EQ(result->top[i].score, want[i].score);
+  }
+}
+
+TEST(EngineTest, QueryValidationAtTheBoundary) {
+  const auto g = test::RandomDirectedGraph(50, 300, 203);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // k = 0.
+  Query zero_k = Query::Single(0, 0);
+  EXPECT_EQ(engine->Search(zero_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Empty source set.
+  Query empty;
+  empty.k = 5;
+  EXPECT_EQ(engine->Search(empty).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Out-of-range source (both signs).
+  EXPECT_EQ(engine->Search(Query::Single(-1, 5)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine->Search(Query::Single(50, 5)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Out-of-range exclude.
+  Query bad_exclude = Query::Single(0, 5);
+  bad_exclude.exclude = {49, 50};
+  EXPECT_EQ(engine->Search(bad_exclude).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Duplicate excludes.
+  Query dup_exclude = Query::Single(0, 5);
+  dup_exclude.exclude = {7, 3, 7};
+  const auto dup = engine->Search(dup_exclude);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("duplicate"), std::string::npos);
+
+  // root_override with a multi-source query.
+  Query bad_root = Query::Personalized({1, 2}, 5);
+  bad_root.root_override = 3;
+  EXPECT_EQ(engine->Search(bad_root).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Duplicate sources are legal (restart-set semantics dedupe them).
+  const auto dup_sources = engine->Search(Query::Personalized({4, 4, 9}, 5));
+  EXPECT_TRUE(dup_sources.ok()) << dup_sources.status();
+}
+
+TEST(EngineTest, SearchBatchMatchesSequentialSearch) {
+  const auto g = test::RandomDirectedGraph(110, 750, 204);
+  EngineOptions options;
+  options.num_search_threads = 4;
+  auto engine = Engine::Build(g, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  std::vector<Query> queries;
+  for (NodeId q = 0; q < 30; ++q) {
+    Query query = Query::Single(q, 6);
+    if (q % 3 == 0) query.exclude = {q};
+    queries.push_back(query);
+  }
+  queries.push_back(Query::Personalized({5, 50, 100}, 12));
+
+  const auto batch = engine->SearchBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto single = engine->Search(queries[i]);
+    ASSERT_TRUE(single.ok()) << single.status();
+    ASSERT_EQ((*batch)[i].top.size(), single->top.size()) << "query " << i;
+    for (std::size_t r = 0; r < single->top.size(); ++r) {
+      EXPECT_EQ((*batch)[i].top[r].node, single->top[r].node);
+      EXPECT_DOUBLE_EQ((*batch)[i].top[r].score, single->top[r].score);
+    }
+  }
+}
+
+TEST(EngineTest, SearchBatchReportsOffendingQueryIndex) {
+  const auto g = test::RandomDirectedGraph(40, 250, 205);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  std::vector<Query> queries{Query::Single(0, 5), Query::Single(999, 5)};
+  const auto batch = engine->SearchBatch(queries);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(batch.status().message().find("query 1"), std::string::npos);
+}
+
+TEST(EngineTest, SaveOpenRoundTrip) {
+  const auto g = test::RandomDirectedGraph(90, 600, 206);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(engine->Save(buffer).ok());
+  auto reopened = Engine::Open(buffer);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened->num_nodes(), engine->num_nodes());
+
+  for (const NodeId q : {0, 30, 89}) {
+    const auto a = engine->Search(Query::Single(q, 8));
+    const auto b = reopened->Search(Query::Single(q, 8));
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->top.size(), b->top.size());
+    for (std::size_t i = 0; i < a->top.size(); ++i) {
+      EXPECT_EQ(a->top[i].node, b->top[i].node);
+      EXPECT_DOUBLE_EQ(a->top[i].score, b->top[i].score);
+    }
+  }
+}
+
+TEST(EngineTest, OpenRecoverableFailures) {
+  // Missing file.
+  const auto missing = Engine::Open("/nonexistent-dir/no-such.kdash");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  // Garbage stream.
+  std::stringstream garbage("not an index at all");
+  EXPECT_EQ(Engine::Open(garbage).status().code(), StatusCode::kDataLoss);
+
+  // Truncated and version-mismatched streams.
+  const auto g = test::RandomDirectedGraph(40, 250, 207);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  std::stringstream buffer;
+  ASSERT_TRUE(engine->Save(buffer).ok());
+  const std::string full = buffer.str();
+
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_EQ(Engine::Open(truncated).status().code(), StatusCode::kDataLoss);
+
+  std::string versioned = full;
+  versioned[4] = 77;
+  std::stringstream mismatched(versioned);
+  EXPECT_EQ(Engine::Open(mismatched).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, StaticEngineRejectsUpdates) {
+  const auto g = test::SmallDirectedGraph();
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_FALSE(engine->updatable());
+  EXPECT_EQ(engine->AddEdge(0, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine->RemoveEdge(0, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, UpdatableEngineServesExactResultsAcrossUpdates) {
+  const auto g = test::RandomDirectedGraph(80, 500, 208);
+  auto engine = Engine::Build(g, UpdatableOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_TRUE(engine->updatable());
+
+  // Before updates: agree with power iteration on the original graph.
+  rwr::PowerIterationOptions pi;
+  pi.tolerance = 1e-14;
+  pi.max_iterations = 20000;
+  const auto before = engine->Search(Query::Single(5, 10));
+  ASSERT_TRUE(before.ok()) << before.status();
+  const auto truth_before =
+      rwr::TopKByPowerIteration(g.NormalizedAdjacency(), 5, 10, pi);
+  ASSERT_EQ(before->top.size(), truth_before.size());
+  for (std::size_t i = 0; i < truth_before.size(); ++i) {
+    EXPECT_EQ(before->top[i].node, truth_before[i].node);
+    EXPECT_NEAR(before->top[i].score, truth_before[i].score, 1e-9);
+  }
+
+  // Mutate, then verify against power iteration on the mutated graph.
+  ASSERT_TRUE(engine->AddEdge(5, 70, 10.0).ok());
+  graph::GraphBuilder builder(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const graph::Neighbor& nb : g.OutNeighbors(u)) {
+      builder.AddEdge(u, nb.node, nb.weight);
+    }
+  }
+  builder.AddEdge(5, 70, 10.0);
+  const auto mutated = std::move(builder).Build();
+
+  const auto after = engine->Search(Query::Single(5, 10));
+  ASSERT_TRUE(after.ok()) << after.status();
+  const auto truth_after =
+      rwr::TopKByPowerIteration(mutated.NormalizedAdjacency(), 5, 10, pi);
+  ASSERT_EQ(after->top.size(), truth_after.size());
+  for (std::size_t i = 0; i < truth_after.size(); ++i) {
+    EXPECT_EQ(after->top[i].node, truth_after[i].node);
+    EXPECT_NEAR(after->top[i].score, truth_after[i].score, 1e-9);
+  }
+
+  // Typed errors from the update path. Pick a (0, dst) pair that is
+  // certainly not an edge of the current graph.
+  NodeId absent = kInvalidNode;
+  for (NodeId dst = 0; dst < g.num_nodes(); ++dst) {
+    bool found = false;  // the AddEdge above only touched node 5's edges
+    for (const graph::Neighbor& nb : g.OutNeighbors(0)) {
+      found |= nb.node == dst;
+    }
+    if (!found) {
+      absent = dst;
+      break;
+    }
+  }
+  ASSERT_NE(absent, kInvalidNode);
+  EXPECT_EQ(engine->RemoveEdge(0, absent).code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine->AddEdge(-1, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, UpdatableEngineFullQuerySurface) {
+  const auto g = test::RandomDirectedGraph(70, 450, 209);
+  auto engine = Engine::Build(g, UpdatableOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Personalized + exclusion on the dynamic backend, checked against the
+  // static engine on the same (unmutated) graph.
+  auto reference = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  Query query = Query::Personalized({2, 33}, 7);
+  query.exclude = {2, 33};
+  const auto dynamic_result = engine->Search(query);
+  const auto static_result = reference->Search(query);
+  ASSERT_TRUE(dynamic_result.ok()) << dynamic_result.status();
+  ASSERT_TRUE(static_result.ok()) << static_result.status();
+  ASSERT_EQ(dynamic_result->top.size(), static_result->top.size());
+  for (std::size_t i = 0; i < static_result->top.size(); ++i) {
+    EXPECT_EQ(dynamic_result->top[i].node, static_result->top[i].node);
+    EXPECT_NEAR(dynamic_result->top[i].score, static_result->top[i].score,
+                1e-9);
+  }
+
+  // Batches work on the dynamic backend too.
+  std::vector<Query> queries{Query::Single(0, 5), query};
+  const auto batch = engine->SearchBatch(queries);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->size(), 2u);
+
+  // Diagnostics that require the static BFS machinery are typed errors.
+  Query rooted = Query::Single(0, 5);
+  rooted.root_override = 3;
+  EXPECT_EQ(engine->Search(rooted).status().code(),
+            StatusCode::kUnimplemented);
+
+  // Updatable engines cannot persist.
+  std::stringstream sink;
+  EXPECT_EQ(engine->Save(sink).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, RootOverrideDiagnosticWorksOnStaticEngine) {
+  const auto g = test::RandomDirectedGraph(60, 400, 210);
+  auto engine = Engine::Build(g, StaticOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Query rooted = Query::Single(0, 5);
+  rooted.root_override = 1;
+  const auto result = engine->Search(rooted);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  Query no_pruning = Query::Single(0, 5);
+  no_pruning.use_pruning = false;
+  const auto exhaustive = engine->Search(no_pruning);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status();
+  EXPECT_FALSE(exhaustive->stats.terminated_early);
+}
+
+}  // namespace
+}  // namespace kdash

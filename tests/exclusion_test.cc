@@ -1,6 +1,8 @@
-// Tests for SearchOptions::exclude — the result-filtering feature used by
-// the recommender scenario (exclude already-rated items) while preserving
-// exactness for the allowed nodes.
+// Tests for result exclusion — the filtering feature used by the
+// recommender scenario (exclude already-rated items) while preserving
+// exactness for the allowed nodes. The exclusion set is owned by
+// SearchOptions::excluded; the borrowed SearchOptions::exclude pointer
+// survives one deprecation cycle and must behave identically.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -18,12 +20,13 @@ TEST(ExclusionTest, ExcludedNodesNeverReturned) {
   const auto index = KDashIndex::Build(g, {});
   KDashSearcher searcher(&index);
 
-  const std::vector<NodeId> exclude{0, 1, 2, 3};  // includes the query
   SearchOptions options;
-  options.exclude = &exclude;
+  options.excluded = {0, 1, 2, 3};  // includes the query
   const auto top = searcher.TopK(0, 10, options);
   for (const auto& entry : top) {
-    for (const NodeId banned : exclude) EXPECT_NE(entry.node, banned);
+    for (const NodeId banned : options.excluded) {
+      EXPECT_NE(entry.node, banned);
+    }
   }
 }
 
@@ -33,15 +36,14 @@ TEST(ExclusionTest, ResultIsExactTopKOfAllowedNodes) {
   const auto index = KDashIndex::Build(g, {});
   KDashSearcher searcher(&index);
 
-  const std::vector<NodeId> exclude{7, 11, 30, 31, 32, 90};
   SearchOptions options;
-  options.exclude = &exclude;
+  options.excluded = {7, 11, 30, 31, 32, 90};
   const NodeId query = 7;
   const auto got = searcher.TopK(query, 8, options);
 
   // Reference: full solve, drop excluded, rank.
   const auto full = rwr::SolveRwr(a, query, {});
-  std::set<NodeId> banned(exclude.begin(), exclude.end());
+  std::set<NodeId> banned(options.excluded.begin(), options.excluded.end());
   TopKHeap heap(8);
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
     if (banned.count(u)) continue;
@@ -62,9 +64,8 @@ TEST(ExclusionTest, ExclusionDoesNotAffectSubsequentQueries) {
 
   const auto before = searcher.TopK(5, 5);
   {
-    const std::vector<NodeId> exclude{5};
     SearchOptions options;
-    options.exclude = &exclude;
+    options.excluded = {5};
     searcher.TopK(5, 5, options);
   }
   const auto after = searcher.TopK(5, 5);  // workspace must be clean
@@ -82,7 +83,7 @@ TEST(ExclusionTest, WorksWithPersonalizedQueries) {
 
   const std::vector<NodeId> sources{3, 60};
   SearchOptions options;
-  options.exclude = &sources;  // recommenders exclude the sources themselves
+  options.excluded = sources;  // recommenders exclude the sources themselves
   const auto top = searcher.TopKPersonalized(sources, 5, options);
   for (const auto& entry : top) {
     EXPECT_NE(entry.node, 3);
@@ -94,11 +95,40 @@ TEST(ExclusionTest, DuplicateExclusionsHarmless) {
   const auto g = test::RandomDirectedGraph(60, 350, 75);
   const auto index = KDashIndex::Build(g, {});
   KDashSearcher searcher(&index);
-  const std::vector<NodeId> exclude{10, 10, 10};
   SearchOptions options;
-  options.exclude = &exclude;
+  options.excluded = {10, 10, 10};
   const auto top = searcher.TopK(10, 5, options);
   for (const auto& entry : top) EXPECT_NE(entry.node, 10);
+}
+
+// Deprecated-shim coverage: the borrowed pointer must keep working for one
+// release and merge with the owned set.
+TEST(ExclusionTest, DeprecatedBorrowedPointerStillWorks) {
+  const auto g = test::RandomDirectedGraph(100, 600, 76);
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+
+  const std::vector<NodeId> borrowed{0, 1};
+  SearchOptions options;
+  options.exclude = &borrowed;
+  options.excluded = {2, 3};
+  const auto merged = searcher.TopK(0, 10, options);
+  for (const auto& entry : merged) {
+    EXPECT_NE(entry.node, 0);
+    EXPECT_NE(entry.node, 1);
+    EXPECT_NE(entry.node, 2);
+    EXPECT_NE(entry.node, 3);
+  }
+
+  // Identical answers whichever field carries the set.
+  SearchOptions owned_only;
+  owned_only.excluded = {0, 1, 2, 3};
+  const auto owned = searcher.TopK(0, 10, owned_only);
+  ASSERT_EQ(merged.size(), owned.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].node, owned[i].node);
+    EXPECT_DOUBLE_EQ(merged[i].score, owned[i].score);
+  }
 }
 
 }  // namespace

@@ -1,6 +1,11 @@
-// Round-trip tests for KDashIndex persistence.
+// Round-trip and failure-path tests for KDashIndex persistence. Every bad
+// input (garbage, truncation, version mismatch, unopenable file) must come
+// back as a non-OK Status — never abort the process.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "core/kdash_index.h"
@@ -37,23 +42,26 @@ TEST(IndexIoTest, StreamRoundTripPreservesEverything) {
   const auto index = KDashIndex::Build(g, options);
 
   std::stringstream buffer;
-  index.Save(buffer);
+  ASSERT_TRUE(index.Save(buffer).ok());
   const auto loaded = KDashIndex::Load(buffer);
-  ExpectIndexesEquivalent(index, loaded);
-  EXPECT_EQ(loaded.options().reorder_method, reorder::Method::kHybrid);
-  EXPECT_EQ(loaded.options().seed, 5u);
-  EXPECT_EQ(loaded.stats().nnz_lower_inverse, index.stats().nnz_lower_inverse);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectIndexesEquivalent(index, *loaded);
+  EXPECT_EQ(loaded->options().reorder_method, reorder::Method::kHybrid);
+  EXPECT_EQ(loaded->options().seed, 5u);
+  EXPECT_EQ(loaded->stats().nnz_lower_inverse,
+            index.stats().nnz_lower_inverse);
 }
 
 TEST(IndexIoTest, LoadedIndexAnswersIdentically) {
   const auto g = test::RandomDirectedGraph(120, 800, 92);
   const auto index = KDashIndex::Build(g, {});
   std::stringstream buffer;
-  index.Save(buffer);
+  ASSERT_TRUE(index.Save(buffer).ok());
   const auto loaded = KDashIndex::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
 
   KDashSearcher original(&index);
-  KDashSearcher restored(&loaded);
+  KDashSearcher restored(&*loaded);
   for (const NodeId q : {0, 17, 63, 119}) {
     const auto a = original.TopK(q, 10);
     const auto b = restored.TopK(q, 10);
@@ -69,35 +77,187 @@ TEST(IndexIoTest, FileRoundTrip) {
   const auto g = test::RandomDirectedGraph(50, 300, 93);
   const auto index = KDashIndex::Build(g, {});
   const std::string path = ::testing::TempDir() + "/kdash_index_test.bin";
-  index.SaveFile(path);
+  ASSERT_TRUE(index.SaveFile(path).ok());
   const auto loaded = KDashIndex::LoadFile(path);
-  ExpectIndexesEquivalent(index, loaded);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectIndexesEquivalent(index, *loaded);
+  std::remove(path.c_str());
 }
 
 TEST(IndexIoTest, RejectsGarbage) {
   std::stringstream buffer("this is not an index");
-  EXPECT_DEATH(KDashIndex::Load(buffer), "not a K-dash index");
+  const auto loaded = KDashIndex::Load(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(loaded.status().message().find("not a K-dash index"),
+            std::string::npos);
 }
 
-TEST(IndexIoTest, RejectsTruncation) {
+TEST(IndexIoTest, RejectsTruncationAtEveryPrefixLength) {
   const auto g = test::RandomDirectedGraph(40, 200, 94);
   const auto index = KDashIndex::Build(g, {});
   std::stringstream buffer;
-  index.Save(buffer);
+  ASSERT_TRUE(index.Save(buffer).ok());
   const std::string full = buffer.str();
-  std::stringstream truncated(full.substr(0, full.size() / 2));
-  EXPECT_DEATH(KDashIndex::Load(truncated), "truncated");
+  // A sweep of prefix lengths exercises truncation inside the header, the
+  // scalar block, each vector, and the factor matrices.
+  for (const std::size_t fraction : {1ul, 7ul, 2ul, 3ul, 9ul}) {
+    const std::size_t cut = full.size() * fraction / 10;
+    std::stringstream truncated(full.substr(0, cut));
+    const auto loaded = KDashIndex::Load(truncated);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
 }
 
-TEST(IndexIoTest, RejectsWrongVersionMagicFlip) {
+TEST(IndexIoTest, RejectsCorruptMagic) {
   const auto g = test::RandomDirectedGraph(30, 150, 95);
   const auto index = KDashIndex::Build(g, {});
   std::stringstream buffer;
-  index.Save(buffer);
+  ASSERT_TRUE(index.Save(buffer).ok());
   std::string bytes = buffer.str();
   bytes[0] = 'X';  // corrupt the magic
   std::stringstream corrupted(bytes);
-  EXPECT_DEATH(KDashIndex::Load(corrupted), "not a K-dash index");
+  const auto loaded = KDashIndex::Load(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IndexIoTest, RejectsVersionMismatch) {
+  const auto g = test::RandomDirectedGraph(30, 150, 96);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer).ok());
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field follows the 4-byte magic (little-endian)
+  std::stringstream mismatched(bytes);
+  const auto loaded = KDashIndex::Load(mismatched);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(IndexIoTest, RejectsCorruptPayloadWithoutAborting) {
+  const auto g = test::RandomDirectedGraph(40, 250, 97);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer).ok());
+  const std::string full = buffer.str();
+  // Flip bytes across the payload. Loads may legitimately succeed when the
+  // flip lands in a benign float, but they must never abort, and a
+  // detected corruption must be kDataLoss.
+  for (const std::size_t at :
+       {20ul, full.size() / 4, full.size() / 2, full.size() - 9}) {
+    std::string bytes = full;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x5a);
+    std::stringstream corrupted(bytes);
+    const auto loaded = KDashIndex::Load(corrupted);
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss)
+          << "flip at " << at << ": " << loaded.status();
+    }
+  }
+}
+
+TEST(IndexIoTest, RejectsCorruptScalarOptions) {
+  const auto g = test::RandomDirectedGraph(30, 150, 89);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer).ok());
+  const std::string full = buffer.str();
+
+  // restart_prob is the 8 bytes after the 8-byte header; force it to 2.0.
+  {
+    std::string bytes = full;
+    const double bad_c = 2.0;
+    std::memcpy(&bytes[8], &bad_c, sizeof(bad_c));
+    std::stringstream corrupted(bytes);
+    const auto loaded = KDashIndex::Load(corrupted);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(loaded.status().message().find("restart probability"),
+              std::string::npos);
+  }
+
+  // reorder_method follows restart_prob at offset 16; force an unknown id.
+  {
+    std::string bytes = full;
+    const std::int32_t bad_method = 12345;
+    std::memcpy(&bytes[16], &bad_method, sizeof(bad_method));
+    std::stringstream corrupted(bytes);
+    const auto loaded = KDashIndex::Load(corrupted);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(loaded.status().message().find("reorder method"),
+              std::string::npos);
+  }
+}
+
+TEST(IndexIoTest, HugeLengthFieldRejectedNotAllocated) {
+  const auto g = test::RandomDirectedGraph(30, 150, 98);
+  const auto index = KDashIndex::Build(g, {});
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer).ok());
+  std::string bytes = buffer.str();
+  // The first vector length (amax table) sits right after the header and
+  // scalar options: 4 magic + 4 version + 8 c + 4 reorder + 8 seed +
+  // 8 drop_tol + 4 num_nodes + 8 amax = 48. Overwrite it with 2^56.
+  bytes[48 + 7] = 0x01;
+  std::stringstream corrupted(bytes);
+  const auto loaded = KDashIndex::Load(corrupted);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+}
+
+// Satellite regression: file-open failures must surface as Status, not be
+// silently ignored or abort.
+TEST(IndexIoTest, LoadFileMissingPathIsNotFound) {
+  const auto loaded =
+      KDashIndex::LoadFile("/nonexistent-dir/kdash-no-such-index.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(IndexIoTest, SaveFileUnwritablePathFails) {
+  const auto g = test::RandomDirectedGraph(20, 100, 99);
+  const auto index = KDashIndex::Build(g, {});
+  const Status status =
+      index.SaveFile("/nonexistent-dir/definitely/not/writable.bin");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, LoadFileCorruptFileFails) {
+  const std::string path = ::testing::TempDir() + "/kdash_corrupt_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "KDSH";
+    const std::uint32_t version = 1;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out << "garbage-after-header";
+  }
+  const auto loaded = KDashIndex::LoadFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadFileTruncatedFileFails) {
+  const auto g = test::RandomDirectedGraph(40, 200, 90);
+  const auto index = KDashIndex::Build(g, {});
+  const std::string path = ::testing::TempDir() + "/kdash_truncated_test.bin";
+  ASSERT_TRUE(index.SaveFile(path).ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Save(buffer).ok());
+  const std::string full = buffer.str();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size() / 3));
+  }
+  const auto loaded = KDashIndex::LoadFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
 }
 
 }  // namespace

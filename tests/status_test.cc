@@ -1,0 +1,99 @@
+// kdash::Status / kdash::Result<T> — the recoverable-error currency of the
+// Engine API.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdash {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::InvalidArgument("node 17 out of range");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "node 17 out of range");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: node 17 out of range");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kDataLoss,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::DataLoss("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> extracted = std::move(result).value();
+  EXPECT_EQ(*extracted, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfValid(int x) {
+  KDASH_RETURN_IF_ERROR(FailWhenNegative(x));
+  return 2 * x;
+}
+
+Result<int> ChainTwice(int x) {
+  KDASH_ASSIGN_OR_RETURN(const int once, DoubleIfValid(x));
+  KDASH_ASSIGN_OR_RETURN(const int twice, DoubleIfValid(once));
+  return twice;
+}
+
+TEST(ResultTest, MacrosPropagateErrors) {
+  const auto ok = ChainTwice(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 12);
+
+  const auto err = ChainTwice(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kdash

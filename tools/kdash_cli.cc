@@ -1,4 +1,6 @@
-// Command-line front end for the K-dash library.
+// Command-line front end for the K-dash library, built on kdash::Engine —
+// every failure (missing file, corrupt index, bad node id) is reported and
+// exits nonzero; nothing aborts.
 //
 //   kdash_cli build <edges.txt> <index.kdash> [--c=0.95] [--reorder=hybrid]
 //                   [--undirected]
@@ -6,8 +8,15 @@
 //       writes it to disk.
 //
 //   kdash_cli query <index.kdash> <node> [<node> ...] [--k=5]
-//       Loads an index and prints the exact top-k for each query node.
+//       Opens an index and prints the exact top-k for each query node.
 //       Multiple nodes with --personalized run one restart-set query.
+//
+//   kdash_cli batch <index.kdash> [queries.txt] [--k=5]
+//       Streams queries (one per line, from the file or stdin) through the
+//       engine and emits one JSON object per query on stdout. Line format:
+//         <source> [<source> ...] [-- <exclude> ...] [k=<n>]
+//       Invalid lines produce {"error": ...} records and processing
+//       continues — the groundwork for the async server front end.
 //
 //   kdash_cli stats <index.kdash>
 //       Prints the index's size and precompute accounting.
@@ -18,12 +27,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/timer.h"
-#include "core/kdash_index.h"
-#include "core/kdash_searcher.h"
+#include "core/engine.h"
 #include "datasets/datasets.h"
 #include "graph/io.h"
 
@@ -39,10 +51,16 @@ int Usage() {
       "            [--undirected]\n"
       "  kdash_cli query <index.kdash> <node> [<node>...] [--k=5]\n"
       "            [--personalized]\n"
+      "  kdash_cli batch <index.kdash> [queries.txt|-] [--k=5]\n"
       "  kdash_cli stats <index.kdash>\n"
       "  kdash_cli generate <dictionary|internet|citation|social|email>\n"
       "            <edges.txt> [--scale=1.0] [--seed=42]\n");
   return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
 }
 
 bool FlagValue(const std::string& arg, const char* name, std::string* value) {
@@ -64,14 +82,14 @@ bool ParseReorder(const std::string& name, reorder::Method* method) {
 
 int CmdBuild(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
-  core::KDashOptions options;
+  EngineOptions options;
   bool undirected = false;
   for (std::size_t i = 2; i < args.size(); ++i) {
     std::string value;
     if (FlagValue(args[i], "--c", &value)) {
-      options.restart_prob = std::atof(value.c_str());
+      options.index.restart_prob = std::atof(value.c_str());
     } else if (FlagValue(args[i], "--reorder", &value)) {
-      if (!ParseReorder(value, &options.reorder_method)) return Usage();
+      if (!ParseReorder(value, &options.index.reorder_method)) return Usage();
     } else if (args[i] == "--undirected") {
       undirected = true;
     } else {
@@ -85,8 +103,9 @@ int CmdBuild(const std::vector<std::string>& args) {
               graph::DescribeGraph(graph).c_str(), timer.Seconds());
 
   timer.Restart();
-  const auto index = core::KDashIndex::Build(graph, options);
-  const auto& stats = index.stats();
+  auto engine = Engine::Build(graph, options);
+  if (!engine.ok()) return Fail(engine.status());
+  const auto& stats = engine->index().stats();
   std::printf(
       "built index in %.2fs (reorder %.2fs, LU %.2fs, inverses %.2fs)\n",
       stats.total_seconds, stats.reorder_seconds, stats.lu_seconds,
@@ -97,9 +116,22 @@ int CmdBuild(const std::vector<std::string>& args) {
               static_cast<long long>(stats.nnz_lower_inverse),
               static_cast<long long>(stats.nnz_upper_inverse),
               stats.num_partitions);
-  index.SaveFile(args[1]);
+  if (const Status saved = engine->Save(args[1]); !saved.ok()) {
+    return Fail(saved);
+  }
   std::printf("wrote %s\n", args[1].c_str());
   return 0;
+}
+
+void PrintResult(const std::string& label, const SearchResult& result) {
+  std::printf("%s:\n", label.c_str());
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    std::printf("  #%zu node %d proximity %.8f\n", i + 1, result.top[i].node,
+                result.top[i].score);
+  }
+  std::printf("  (visited %d, computed %d proximities, pruned=%s)\n",
+              result.stats.nodes_visited, result.stats.proximity_computations,
+              result.stats.terminated_early ? "yes" : "no");
 }
 
 int CmdQuery(const std::vector<std::string>& args) {
@@ -110,50 +142,177 @@ int CmdQuery(const std::vector<std::string>& args) {
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string value;
     if (FlagValue(args[i], "--k", &value)) {
-      k = static_cast<std::size_t>(std::atoll(value.c_str()));
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed <= 0) return Usage();
+      k = static_cast<std::size_t>(parsed);
     } else if (args[i] == "--personalized") {
       personalized = true;
     } else {
-      nodes.push_back(static_cast<NodeId>(std::atoll(args[i].c_str())));
+      char* end = nullptr;
+      const long long id = std::strtoll(args[i].c_str(), &end, 10);
+      if (end == args[i].c_str() || *end != '\0' ||
+          id < std::numeric_limits<NodeId>::min() ||
+          id > std::numeric_limits<NodeId>::max()) {
+        std::fprintf(stderr, "error: bad node id '%s'\n", args[i].c_str());
+        return Usage();
+      }
+      nodes.push_back(static_cast<NodeId>(id));
     }
   }
   if (nodes.empty() || k == 0) return Usage();
 
-  const auto index = core::KDashIndex::LoadFile(args[0]);
-  core::KDashSearcher searcher(&index);
-
-  auto print_result = [&](const std::string& label,
-                          const std::vector<ScoredNode>& top,
-                          const core::SearchStats& stats) {
-    std::printf("%s:\n", label.c_str());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      std::printf("  #%zu node %d proximity %.8f\n", i + 1, top[i].node,
-                  top[i].score);
-    }
-    std::printf("  (visited %d, computed %d proximities, pruned=%s)\n",
-                stats.nodes_visited, stats.proximity_computations,
-                stats.terminated_early ? "yes" : "no");
-  };
+  auto engine = Engine::Open(args[0]);
+  if (!engine.ok()) return Fail(engine.status());
 
   if (personalized) {
-    core::SearchStats stats;
-    const auto top = searcher.TopKPersonalized(nodes, k, {}, &stats);
-    print_result("personalized top-" + std::to_string(k), top, stats);
+    const auto result = engine->Search(Query::Personalized(nodes, k));
+    if (!result.ok()) return Fail(result.status());
+    PrintResult("personalized top-" + std::to_string(k), *result);
   } else {
     for (const NodeId q : nodes) {
-      core::SearchStats stats;
-      const auto top = searcher.TopK(q, k, {}, &stats);
-      print_result("top-" + std::to_string(k) + " for node " +
-                       std::to_string(q),
-                   top, stats);
+      const auto result = engine->Search(Query::Single(q, k));
+      if (!result.ok()) return Fail(result.status());
+      PrintResult(
+          "top-" + std::to_string(k) + " for node " + std::to_string(q),
+          *result);
     }
   }
   return 0;
 }
 
+std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      escaped += '\\';
+      escaped += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      escaped += buffer;
+    } else {
+      escaped += ch;
+    }
+  }
+  return escaped;
+}
+
+// One line of batch input → a Query. Grammar (whitespace-separated):
+//   <source>... [-- <exclude>...] [k=<n>]
+bool ParseBatchLine(const std::string& line, std::size_t default_k,
+                    Query* query, std::string* error) {
+  *query = Query{};
+  query->k = default_k;
+  std::istringstream tokens(line);
+  std::string token;
+  bool excludes = false;
+  while (tokens >> token) {
+    if (token == "--") {
+      excludes = true;
+      continue;
+    }
+    std::string value;
+    if (FlagValue(token, "k", &value)) {
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed <= 0) {
+        *error = "bad k '" + value + "'";
+        return false;
+      }
+      query->k = static_cast<std::size_t>(parsed);
+      continue;
+    }
+    char* end = nullptr;
+    const long long id = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      *error = "bad token '" + token + "'";
+      return false;
+    }
+    if (id < std::numeric_limits<NodeId>::min() ||
+        id > std::numeric_limits<NodeId>::max()) {
+      *error = "node id '" + token + "' out of range";
+      return false;
+    }
+    (excludes ? query->exclude : query->sources)
+        .push_back(static_cast<NodeId>(id));
+  }
+  return true;
+}
+
+// JSON-lines batch serving over the Engine: read queries, answer each,
+// report per-query errors inline and keep going. This is the recoverable
+// error contract an async front end needs — one bad request never takes
+// down the stream.
+int CmdBatch(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::size_t default_k = 5;
+  std::string input_path = "-";
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string value;
+    if (FlagValue(args[i], "--k", &value)) {
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed <= 0) return Usage();
+      default_k = static_cast<std::size_t>(parsed);
+    } else {
+      input_path = args[i];
+    }
+  }
+
+  auto engine = Engine::Open(args[0]);
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::ifstream file;
+  if (input_path != "-") {
+    file.open(input_path);
+    if (!file.good()) {
+      return Fail(Status::NotFound("cannot open " + input_path));
+    }
+  }
+  std::istream& in = input_path == "-" ? std::cin : file;
+
+  int failures = 0;
+  long long id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (line.empty() || line[0] == '#') continue;
+    Query query;
+    std::string parse_error;
+    if (!ParseBatchLine(line, default_k, &query, &parse_error)) {
+      std::printf("{\"id\":%lld,\"error\":\"%s\"}\n", id++,
+                  JsonEscape(parse_error).c_str());
+      ++failures;
+      continue;
+    }
+    const auto result = engine->Search(query);
+    if (!result.ok()) {
+      std::printf("{\"id\":%lld,\"error\":\"%s\"}\n", id++,
+                  JsonEscape(result.status().ToString()).c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("{\"id\":%lld,\"sources\":[", id++);
+    for (std::size_t i = 0; i < query.sources.size(); ++i) {
+      std::printf("%s%d", i == 0 ? "" : ",", query.sources[i]);
+    }
+    std::printf("],\"k\":%zu,\"top\":[", query.k);
+    for (std::size_t i = 0; i < result->top.size(); ++i) {
+      std::printf("%s{\"node\":%d,\"score\":%.12g}", i == 0 ? "" : ",",
+                  result->top[i].node, result->top[i].score);
+    }
+    std::printf("],\"visited\":%d,\"computed\":%d,\"pruned\":%s}\n",
+                result->stats.nodes_visited,
+                result->stats.proximity_computations,
+                result->stats.terminated_early ? "true" : "false");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 int CmdStats(const std::vector<std::string>& args) {
   if (args.size() != 1) return Usage();
-  const auto index = core::KDashIndex::LoadFile(args[0]);
+  auto engine = Engine::Open(args[0]);
+  if (!engine.ok()) return Fail(engine.status());
+  const auto& index = engine->index();
   const auto& stats = index.stats();
   std::printf("nodes            : %d\n", index.num_nodes());
   std::printf("restart prob (c) : %.4f\n", index.restart_prob());
@@ -205,6 +364,7 @@ int Main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "build") return CmdBuild(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "batch") return CmdBatch(args);
   if (command == "stats") return CmdStats(args);
   if (command == "generate") return CmdGenerate(args);
   return Usage();
