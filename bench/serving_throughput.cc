@@ -1,0 +1,257 @@
+// Serving-tier throughput: per-query synchronous Engine::Search from N
+// concurrent clients versus the same clients submitting through the
+// micro-batching BatchScheduler (requests coalesce into SearchBatch calls
+// on the shared pool), plus the scheduler over a ShardedEngine. Emits one
+// JSON record per (clients, mode) cell — the cross-PR perf artifact the
+// serving CI job uploads.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "serving/batch_scheduler.h"
+#include "serving/sharded_engine.h"
+
+namespace kdash::bench {
+namespace {
+
+struct Measurement {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double coalesced_frac = 0.0;  // scheduler modes: duplicates shared per run
+};
+
+double PercentileUs(std::vector<double>& latencies, double fraction) {
+  if (latencies.empty()) return 0.0;
+  const auto at = static_cast<std::size_t>(
+      fraction * static_cast<double>(latencies.size() - 1));
+  std::nth_element(latencies.begin(), latencies.begin() + static_cast<long>(at),
+                   latencies.end());
+  return latencies[at];
+}
+
+// N client threads issue their share of `queries`, each measuring
+// per-request wall latency. Slices are carved before the clock starts and
+// handed to each client mutably, so an async client can move its queries
+// into Submit instead of copying on the hot path.
+Measurement RunClients(
+    int clients, const std::vector<Query>& queries,
+    const std::function<void(int client, std::vector<Query>&,
+                             std::vector<double>*)>& run_client) {
+  std::vector<std::vector<Query>> slices(static_cast<std::size_t>(clients));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    slices[i % static_cast<std::size_t>(clients)].push_back(queries[i]);
+  }
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(clients));
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      run_client(c, slices[static_cast<std::size_t>(c)],
+                 &latencies[static_cast<std::size_t>(c)]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = timer.Seconds();
+
+  Measurement m;
+  m.qps = static_cast<double>(queries.size()) / seconds;
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  m.p50_us = PercentileUs(all, 0.50);
+  m.p99_us = PercentileUs(all, 0.99);
+  return m;
+}
+
+Measurement RunSync(const Engine& engine, int clients,
+                    const std::vector<Query>& queries) {
+  return RunClients(clients, queries,
+                    [&](int, std::vector<Query>& slice,
+                        std::vector<double>* latencies) {
+                      for (const Query& query : slice) {
+                        WallTimer timer;
+                        const auto result = engine.Search(query);
+                        KDASH_CHECK(result.ok());
+                        latencies->push_back(timer.Seconds() * 1e6);
+                      }
+                    });
+}
+
+// Each client keeps up to `window` requests in flight so the scheduler can
+// form full batches; latency is submit→resolve per request. A deep window
+// is the async API's natural regime: clients pipeline instead of blocking
+// per request, so the scheduler thread runs nearly alone while client
+// threads sleep on futures.
+Measurement RunScheduled(serving::BatchScheduler& scheduler, int clients,
+                         const std::vector<Query>& queries,
+                         std::size_t window = 512) {
+  return RunClients(
+      clients, queries,
+      [&](int, std::vector<Query>& slice, std::vector<double>* latencies) {
+        struct InFlight {
+          WallTimer timer;
+          std::future<Result<SearchResult>> future;
+        };
+        std::vector<InFlight> in_flight;
+        in_flight.reserve(slice.size());
+        std::size_t head = 0;
+        const auto resolve = [&](InFlight& request) {
+          KDASH_CHECK(request.future.get().ok());
+          latencies->push_back(request.timer.Seconds() * 1e6);
+        };
+        for (Query& query : slice) {
+          in_flight.push_back({WallTimer(), scheduler.Submit(std::move(query))});
+          if (in_flight.size() - head >= window) resolve(in_flight[head++]);
+        }
+        for (; head < in_flight.size(); ++head) resolve(in_flight[head]);
+      });
+}
+
+int Main() {
+  const auto n = static_cast<NodeId>(8000 * BenchScale());
+  PrintBenchHeader(
+      "Serving throughput: sync Search vs micro-batched scheduler",
+      "clients x {sync, scheduler, sharded-scheduler} QPS; pool threads: " +
+          std::to_string(DefaultNumThreads()));
+
+  Rng rng(42);
+  const auto graph =
+      graph::PowerLawCluster(n, 6, 0.6, /*directed=*/true, 0.4, rng);
+  auto engine = Engine::Build(graph, {});
+  KDASH_CHECK(engine.ok());
+
+  serving::ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = 4;
+  auto sharded = serving::ShardedEngine::Build(graph, sharded_options);
+  KDASH_CHECK(sharded.ok());
+
+  // Serving traffic is head-heavy and bursty: most requests follow entity
+  // popularity (modeled as out-degree-weighted sampling), and a trending
+  // slice concentrates on a small rotating hot set — the thundering-herd
+  // pattern whose duplicate requests the scheduler's in-batch coalescing
+  // answers once per batch. (The paper's figure benches keep their uniform
+  // sampling; this bench models the serving tier.)
+  std::vector<double> cumulative(static_cast<std::size_t>(graph.num_nodes()));
+  double total_weight = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    total_weight += static_cast<double>(graph.OutNeighbors(u).size());
+    cumulative[static_cast<std::size_t>(u)] = total_weight;
+  }
+  Rng query_rng(7);
+  const auto weighted_node = [&] {
+    const double pick = query_rng.NextDouble() * total_weight;
+    const auto at = std::lower_bound(cumulative.begin(), cumulative.end(), pick);
+    return static_cast<NodeId>(at - cumulative.begin());
+  };
+  constexpr std::size_t kStreamLength = 4096;
+  constexpr std::size_t kTrendingSetSize = 8;
+  constexpr std::size_t kTrendingRotation = 512;  // hot set turns over
+  constexpr double kTrendingFraction = 0.25;
+  std::vector<NodeId> trending(kTrendingSetSize);
+  std::vector<Query> queries;
+  queries.reserve(kStreamLength);
+  while (queries.size() < kStreamLength) {
+    if (queries.size() % kTrendingRotation == 0) {
+      for (NodeId& hot : trending) hot = weighted_node();
+    }
+    const NodeId source =
+        query_rng.NextDouble() < kTrendingFraction
+            ? trending[query_rng.NextBounded(kTrendingSetSize)]
+            : weighted_node();
+    queries.push_back(Query::Single(source, 10));
+  }
+
+  serving::BatchSchedulerOptions scheduler_options;
+  scheduler_options.max_batch_size = 256;
+  scheduler_options.max_wait = std::chrono::microseconds(200);
+
+  // The sharded column is a scale-out configuration (1/P of the U⁻¹
+  // payload per shard, no global pruning threshold), not a single-host
+  // latency play — a query subset keeps its cells affordable.
+  const std::vector<Query> sharded_queries(queries.begin(),
+                                           queries.begin() + 256);
+
+  const std::vector<int> client_counts{1, 2, 4, 8};
+  PrintTableHeader({"clients", "sync_qps", "sched_qps", "sched_x",
+                    "sharded_qps", "p99_us"});
+
+  // Five timed repetitions per cell, sync and scheduler interleaved so CPU
+  // frequency / container-load drift hits both modes alike; report the
+  // median-by-QPS of each. One untimed warmup pass first.
+  const auto median = [](std::vector<Measurement> runs) {
+    std::sort(runs.begin(), runs.end(),
+              [](const Measurement& a, const Measurement& b) {
+                return a.qps < b.qps;
+              });
+    return runs[runs.size() / 2];
+  };
+  RunSync(*engine, 1, sharded_queries);  // warmup
+
+  std::vector<JsonObject> records;
+  for (const int clients : client_counts) {
+    std::vector<Measurement> sync_runs, scheduled_runs;
+    std::vector<double> paired_ratios;
+    for (int rep = 0; rep < 5; ++rep) {
+      sync_runs.push_back(RunSync(*engine, clients, queries));
+      serving::BatchScheduler scheduler(
+          [&](std::span<const Query> batch) { return engine->SearchBatch(batch); },
+          scheduler_options);
+      Measurement m = RunScheduled(scheduler, clients, queries);
+      scheduler.Shutdown();
+      const auto stats = scheduler.stats();
+      m.coalesced_frac = static_cast<double>(stats.coalesced) /
+                         static_cast<double>(std::max<std::uint64_t>(
+                             1, stats.submitted));
+      scheduled_runs.push_back(m);
+      // Paired ratio: this rep's sync and scheduled runs are adjacent in
+      // time, so machine-load drift cancels out of the quotient.
+      paired_ratios.push_back(m.qps / sync_runs.back().qps);
+    }
+    std::sort(paired_ratios.begin(), paired_ratios.end());
+    const double speedup = paired_ratios[paired_ratios.size() / 2];
+    const Measurement sync = median(std::move(sync_runs));
+    const Measurement scheduled = median(std::move(scheduled_runs));
+
+    Measurement sharded_scheduled;
+    {
+      serving::BatchScheduler scheduler(
+          [&](std::span<const Query> batch) {
+            return sharded->SearchBatch(batch);
+          },
+          scheduler_options);
+      sharded_scheduled = RunScheduled(scheduler, clients, sharded_queries);
+      scheduler.Shutdown();
+    }
+
+    PrintTableRow("c=" + std::to_string(clients),
+                  {static_cast<double>(clients), sync.qps, scheduled.qps,
+                   speedup, sharded_scheduled.qps, scheduled.p99_us});
+    records.push_back(JsonObject()
+                          .Add("clients", clients)
+                          .Add("sync_qps", sync.qps)
+                          .Add("sync_p99_us", sync.p99_us)
+                          .Add("scheduler_qps", scheduled.qps)
+                          .Add("scheduler_p50_us", scheduled.p50_us)
+                          .Add("scheduler_p99_us", scheduled.p99_us)
+                          .Add("scheduler_speedup", speedup)
+                          .Add("scheduler_coalesced_frac",
+                               scheduled.coalesced_frac)
+                          .Add("sharded_scheduler_qps", sharded_scheduled.qps));
+  }
+  PrintJsonRecords("serving_throughput", records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace kdash::bench
+
+int main() { return kdash::bench::Main(); }

@@ -28,6 +28,8 @@ enum class StatusCode {
   kDataLoss,            // corrupt or truncated index stream
   kUnimplemented,       // feature not supported by this backend
   kInternal,            // invariant violation surfaced as an error
+  kDeadlineExceeded,    // request expired before it could be served
+  kUnavailable,         // service is shutting down or not accepting work
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -56,6 +58,12 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,10 +10,15 @@ namespace kdash::core {
 SearcherPool::SearcherPool(const KDashIndex* index, int num_threads)
     : index_(index) {
   KDASH_CHECK(index != nullptr);
-  if (num_threads > 0) {
+  // Compare against DefaultNumThreads() — what Shared() is sized to at
+  // first use — so choosing a dedicated pool never materializes the shared
+  // pool as a side effect of the size check.
+  if (num_threads > 0 && num_threads != DefaultNumThreads()) {
     owned_pool_ = std::make_unique<ThreadPool>(num_threads);
     pool_ = owned_pool_.get();
   } else {
+    // 0 or a request matching the shared pool's size: borrow it rather than
+    // spawn a duplicate default-sized pool per component.
     pool_ = &ThreadPool::Shared();
   }
   searchers_.resize(static_cast<std::size_t>(pool_->num_threads()));

@@ -34,10 +34,14 @@ struct PersonalizedBatchResult {
 
 // Persistent batch-serving pool: a fixed thread pool plus one lazily
 // created KDashSearcher per rank, both reused across calls. num_threads:
-// 0 = borrow the process-wide shared pool (DefaultNumThreads workers),
-// T > 0 = own a dedicated pool of T workers. Results always come back in
-// input order and are identical to running the queries sequentially, for
-// every thread count. Not thread-safe: one SearcherPool per calling thread.
+// 0 = borrow the process-wide shared pool (DefaultNumThreads workers, i.e.
+// KDASH_NUM_THREADS); T > 0 = run on T workers. A dedicated pool is spawned
+// only when T differs from the shared pool's size — a request that matches
+// it borrows the shared pool, so a process serving many engines (sharded
+// serving, one SearcherPool per shard) holds exactly one default-sized pool
+// instead of one per component. Results always come back in input order and
+// are identical to running the queries sequentially, for every thread
+// count. Not thread-safe: one SearcherPool per calling thread.
 class SearcherPool {
  public:
   // `index` must outlive the pool.
@@ -47,6 +51,10 @@ class SearcherPool {
   SearcherPool& operator=(const SearcherPool&) = delete;
 
   int num_threads() const { return pool_->num_threads(); }
+
+  // True when this pool spawned dedicated worker threads rather than
+  // borrowing the process-wide shared pool.
+  bool owns_pool() const { return owned_pool_ != nullptr; }
 
   // TopK for every query node.
   std::vector<BatchQueryResult> TopKBatch(const std::vector<NodeId>& queries,

@@ -115,9 +115,9 @@ SearchResult RunOnSearcher(core::KDashSearcher& searcher, const Query& query) {
   core::SearchOptions options;
   options.use_pruning = query.use_pruning;
   options.root_override = query.root_override;
-  // Borrow rather than copy the exclusion set — `query` outlives the call,
+  // View rather than copy the exclusion set — `query` outlives the call,
   // and a per-query O(|exclude|) copy would sit on the hot serving path.
-  options.exclude = &query.exclude;
+  options.excluded_view = query.exclude;
   SearchResult result;
   if (query.sources.size() == 1) {
     result.top =
@@ -195,6 +195,10 @@ Result<Engine> Engine::Build(const graph::Graph& graph,
 
 Result<Engine> Engine::WrapLoadedIndex(Result<core::KDashIndex> loaded) {
   KDASH_ASSIGN_OR_RETURN(auto index, std::move(loaded));
+  return FromIndex(std::move(index));
+}
+
+Engine Engine::FromIndex(core::KDashIndex index) {
   auto impl = std::make_unique<Impl>();
   impl->options.index = index.options();
   impl->num_nodes = index.num_nodes();
@@ -253,6 +257,7 @@ Result<std::vector<SearchResult>> Engine::SearchBatch(
     const Status status = ValidateQuery(queries[i], impl_->num_nodes,
                                         impl_->dynamic != nullptr);
     if (!status.ok()) {
+      if (queries.size() == 1) return status;  // no prefix for a lone query
       return Status(status.code(), "query " + std::to_string(i) + ": " +
                                        status.message());
     }

@@ -117,6 +117,11 @@ class Engine {
   static Result<Engine> Open(const std::string& path);
   static Result<Engine> Open(std::istream& in);
 
+  // Wrap an already-built index (e.g., a shard from KDashIndex::Restrict)
+  // into a static engine. The index is taken by value — an index in hand is
+  // already valid, so this cannot fail.
+  static Engine FromIndex(core::KDashIndex index);
+
   // Persist a static engine's index. kFailedPrecondition for updatable
   // engines (their factorization tracks a mutating graph).
   Status Save(const std::string& path) const;

@@ -21,7 +21,9 @@ namespace kdash::core {
 namespace {
 
 constexpr char kMagic[4] = {'K', 'D', 'S', 'H'};
-constexpr std::uint32_t kVersion = 1;
+// v2: adds the node-ownership window (owned_begin, owned_end) after the node
+// count, so shard indexes produced by Restrict() persist and reload.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void WritePod(std::ostream& out, const T& value) {
@@ -218,6 +220,8 @@ Status KDashIndex::Save(std::ostream& out) const {
   WritePod(out, options_.drop_tolerance);
 
   WritePod(out, num_nodes_);
+  WritePod(out, owned_begin_);
+  WritePod(out, owned_end_);
   WritePod(out, amax_);
   WriteVector(out, amax_of_node_);
   WriteVector(out, c_prime_of_node_);
@@ -274,6 +278,13 @@ Result<KDashIndex> KDashIndex::Load(std::istream& in) {
   KDASH_RETURN_IF_ERROR(reader.Pod(&index.num_nodes_));
   if (index.num_nodes_ < 0) {
     return Status::DataLoss("corrupt index stream: negative node count");
+  }
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_begin_));
+  KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_end_));
+  if (index.owned_begin_ < 0 || index.owned_begin_ > index.owned_end_ ||
+      index.owned_end_ > index.num_nodes_) {
+    return Status::DataLoss(
+        "corrupt index stream: node-ownership window outside [0, n]");
   }
   KDASH_RETURN_IF_ERROR(reader.Pod(&index.amax_));
   KDASH_RETURN_IF_ERROR(reader.Vec(&index.amax_of_node_));

@@ -19,6 +19,7 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
   KDashIndex index;
   index.options_ = options;
   index.num_nodes_ = graph.num_nodes();
+  index.owned_end_ = graph.num_nodes();
 
   const WallTimer total_timer;
 
@@ -73,6 +74,62 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
 
   index.stats_.total_seconds = total_timer.Seconds();
   return index;
+}
+
+KDashIndex KDashIndex::Restrict(NodeId begin, NodeId end) const {
+  KDASH_CHECK(begin >= 0 && begin <= end && end <= num_nodes_)
+      << "ownership window [" << begin << ", " << end << ") outside [0, "
+      << num_nodes_ << ")";
+
+  KDashIndex shard;
+  shard.options_ = options_;
+  shard.num_nodes_ = num_nodes_;
+  shard.stats_ = stats_;
+  shard.owned_begin_ = begin;
+  shard.owned_end_ = end;
+
+  shard.amax_ = amax_;
+  shard.amax_of_node_ = amax_of_node_;
+  shard.c_prime_of_node_ = c_prime_of_node_;
+  shard.new_of_old_ = new_of_old_;
+  shard.old_of_new_ = old_of_new_;
+  shard.lower_inverse_ = lower_inverse_;
+  shard.adjacency_ptr_ = adjacency_ptr_;
+  shard.adjacency_ = adjacency_;
+
+  // Keep only the U⁻¹ rows of owned nodes. Ownership is an original-id
+  // window but U⁻¹ lives in reordered space, so the kept rows are scattered:
+  // row new_of_old[u] survives iff u ∈ [begin, end). Kept rows are copied
+  // verbatim (same values, same order), so shard proximities are
+  // bit-identical to the full index's.
+  const NodeId n = num_nodes_;
+  std::vector<Index> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  Index kept_nnz = 0;
+  for (NodeId row = 0; row < n; ++row) {
+    const NodeId old_id = old_of_new_[static_cast<std::size_t>(row)];
+    if (old_id >= begin && old_id < end) {
+      kept_nnz += upper_inverse_.RowNnz(row);
+    }
+    row_ptr[static_cast<std::size_t>(row) + 1] = kept_nnz;
+  }
+  std::vector<NodeId> col_idx;
+  std::vector<Scalar> values;
+  col_idx.reserve(static_cast<std::size_t>(kept_nnz));
+  values.reserve(static_cast<std::size_t>(kept_nnz));
+  for (NodeId row = 0; row < n; ++row) {
+    const NodeId old_id = old_of_new_[static_cast<std::size_t>(row)];
+    if (old_id < begin || old_id >= end) continue;
+    for (Index k = upper_inverse_.RowBegin(row); k < upper_inverse_.RowEnd(row);
+         ++k) {
+      col_idx.push_back(upper_inverse_.ColIndex(k));
+      values.push_back(upper_inverse_.Value(k));
+    }
+  }
+  shard.upper_inverse_ = sparse::CsrMatrix(n, n, std::move(row_ptr),
+                                           std::move(col_idx),
+                                           std::move(values));
+  shard.stats_.nnz_upper_inverse = shard.upper_inverse_.nnz();
+  return shard;
 }
 
 }  // namespace kdash::core

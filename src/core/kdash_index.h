@@ -82,6 +82,26 @@ class KDashIndex {
   const KDashOptions& options() const { return options_; }
   const PrecomputeStats& stats() const { return stats_; }
 
+  // ---- node ownership (sharded serving) -----------------------------------
+  //
+  // A full index owns every node: [0, num_nodes). Restrict() produces a
+  // *shard* of this index that answers only for original-node ids in
+  // [begin, end): it keeps the full L⁻¹ (any node can be a query source),
+  // the full adjacency and estimator tables (the per-query BFS and bounds
+  // span the whole graph), but drops every U⁻¹ row outside the window —
+  // the rows are the per-node payload that dominates the footprint, so a
+  // P-way sharding splits the U⁻¹ storage P ways. Searches on a shard
+  // return the exact top-k among owned nodes with bit-identical scores to
+  // the full index (see serving::ShardedEngine for the merge).
+  KDashIndex Restrict(NodeId begin, NodeId end) const;
+
+  NodeId owned_begin() const { return owned_begin_; }
+  NodeId owned_end() const { return owned_end_; }
+  bool IsSharded() const {
+    return owned_begin_ != 0 || owned_end_ != num_nodes_;
+  }
+  bool OwnsNode(NodeId u) const { return u >= owned_begin_ && u < owned_end_; }
+
   // Estimator inputs (original node-id space).
   Scalar amax() const { return amax_; }
   const std::vector<Scalar>& amax_of_node() const { return amax_of_node_; }
@@ -107,6 +127,10 @@ class KDashIndex {
   KDashOptions options_;
   NodeId num_nodes_ = 0;
   PrecomputeStats stats_;
+
+  // Ownership window in original node-id space (see Restrict()).
+  NodeId owned_begin_ = 0;
+  NodeId owned_end_ = 0;  // == num_nodes_ for a full index
 
   Scalar amax_ = 0.0;
   std::vector<Scalar> amax_of_node_;

@@ -65,9 +65,9 @@ std::vector<ScoredNode> KDashSearcher::Search(
   KDASH_CHECK(k > 0);
 
   // Mark the exclusion set (cleared at the end of the query): the owned
-  // list plus, for one deprecation cycle, the borrowed legacy pointer.
+  // list plus the caller's non-owning view.
   excluded_rows_.clear();
-  const auto mark_excluded = [&](const std::vector<NodeId>& nodes) {
+  const auto mark_excluded = [&](std::span<const NodeId> nodes) {
     for (const NodeId node : nodes) {
       KDASH_CHECK(node >= 0 && node < index_->num_nodes())
           << "excluded node " << node;
@@ -78,7 +78,7 @@ std::vector<ScoredNode> KDashSearcher::Search(
     }
   };
   mark_excluded(options.excluded);
-  if (options.exclude != nullptr) mark_excluded(*options.exclude);
+  mark_excluded(options.excluded_view);
 
   // Step 1: y = L⁻¹ q — accumulate the stored sparse columns of the
   // inverse lower factor, one per source, scaled by the restart weight.
@@ -122,12 +122,24 @@ std::vector<ScoredNode> KDashSearcher::Search(
     const NodeId u = order_[head];
     ++local_stats.nodes_visited;
 
+    // Sharded index: a node outside this shard's ownership window has no
+    // stored U⁻¹ row, so its exact proximity cannot (and need not) be
+    // computed here — some other shard answers for it. Recording proximity
+    // 0 keeps the estimator's Lemma 1 bound valid: the node's true
+    // probability mass stays inside the (1 − Σp)·Amax remainder term, which
+    // upper-bounds it at least as loosely as its exact p·Amax(u) term
+    // would. Pruning gets weaker, exactness of the owned top-k does not.
+    const bool owned = index_->OwnsNode(u);
+
     if (head < roots.size()) {
       // A layer-0 root: p̄ = 1 by Definition 1 — never prunable since θ
       // starts at 0, scores are ≤ 1, and Algorithm 4 compares strictly.
-      const Scalar proximity = Proximity(u);
-      ++local_stats.proximity_computations;
-      if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+      Scalar proximity = 0.0;
+      if (owned) {
+        proximity = Proximity(u);
+        ++local_stats.proximity_computations;
+        if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+      }
       estimator_.RecordQuery(u, proximity);
     } else {
       const NodeId u_layer = layer_[static_cast<std::size_t>(u)];
@@ -138,12 +150,15 @@ std::vector<ScoredNode> KDashSearcher::Search(
           local_stats.terminated_early = true;
           break;
         }
-        const Scalar proximity = Proximity(u);
-        ++local_stats.proximity_computations;
-        // Push keeps it only if it beats the current K-th.
-        if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+        Scalar proximity = 0.0;
+        if (owned) {
+          proximity = Proximity(u);
+          ++local_stats.proximity_computations;
+          // Push keeps it only if it beats the current K-th.
+          if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);
+        }
         estimator_.RecordSelected(u, proximity);
-      } else {
+      } else if (owned) {
         const Scalar proximity = Proximity(u);
         ++local_stats.proximity_computations;
         if (!excluded_[static_cast<std::size_t>(u)]) heap.Push(u, proximity);

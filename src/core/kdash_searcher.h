@@ -17,6 +17,7 @@
 #ifndef KDASH_CORE_KDASH_SEARCHER_H_
 #define KDASH_CORE_KDASH_SEARCHER_H_
 
+#include <span>
 #include <vector>
 
 #include "common/top_k.h"
@@ -47,14 +48,11 @@ struct SearchOptions {
   // harmless; owned by the options, no lifetime to manage.
   std::vector<NodeId> excluded;
 
-  // DEPRECATED shim, removed next release: borrowed exclusion list that the
-  // caller must keep alive across the call (a dangling-pointer footgun —
-  // prefer `excluded`, or `Query::exclude` on the Engine API). When both
-  // are set the union is excluded. Engine::Search borrows through this
-  // field internally to avoid a per-query copy; when the shim is removed,
-  // it must be replaced by a non-deprecated non-owning view (std::span),
-  // not deleted outright.
-  const std::vector<NodeId>* exclude = nullptr;
+  // Non-owning companion to `excluded`: a view over an exclusion list the
+  // caller already holds (Engine::Search points it at Query::exclude so the
+  // hot path never copies). The viewed storage must stay alive for the
+  // duration of the call; when both fields are set the union is excluded.
+  std::span<const NodeId> excluded_view;
 };
 
 struct SearchStats {

@@ -1,0 +1,216 @@
+#include "serving/batch_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace kdash::serving {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Total order over queries so identical requests sort adjacent. Two queries
+// compare equal only when every field that affects the answer matches, so
+// coalesced requests are guaranteed the same result.
+int CompareQueries(const Query& a, const Query& b) {
+  if (a.k != b.k) return a.k < b.k ? -1 : 1;
+  if (a.use_pruning != b.use_pruning) return a.use_pruning ? -1 : 1;
+  if (a.root_override != b.root_override) {
+    return a.root_override < b.root_override ? -1 : 1;
+  }
+  if (a.sources != b.sources) return a.sources < b.sources ? -1 : 1;
+  if (a.exclude != b.exclude) return a.exclude < b.exclude ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(Backend backend,
+                               const BatchSchedulerOptions& options)
+    : backend_(std::move(backend)), options_(options) {
+  KDASH_CHECK(backend_ != nullptr);
+  KDASH_CHECK(options_.max_batch_size >= 1);
+  KDASH_CHECK(options_.max_wait.count() >= 0);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+BatchScheduler::~BatchScheduler() { Shutdown(); }
+
+std::future<Result<SearchResult>> BatchScheduler::Submit(
+    Query query, std::chrono::steady_clock::duration timeout) {
+  Request request;
+  request.query = std::move(query);
+  request.arrival = Clock::now();
+  request.deadline = timeout.count() > 0 ? request.arrival + timeout
+                                         : Clock::time_point::max();
+  std::future<Result<SearchResult>> future = request.promise.get_future();
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      ++stats_.rejected;
+      request.promise.set_value(Status::Unavailable(
+          "batch scheduler is shut down and not accepting requests"));
+      return future;
+    }
+    ++stats_.submitted;
+    queue_.push_back(std::move(request));
+    // Wake the scheduler only when this submission changes what it can do:
+    // the queue just became non-empty (it may be idle-waiting) or just
+    // filled a batch (it may be waiting out max_wait). Intermediate
+    // submissions ride along for free — at high load this drops the
+    // notify cost from one per request to two per batch.
+    wake = queue_.size() == 1 || queue_.size() == options_.max_batch_size;
+  }
+  if (wake) wake_scheduler_.notify_one();
+  return future;
+}
+
+void BatchScheduler::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_scheduler_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with nothing left to drain
+
+    // Batch-forming policy: dispatch when full, when the oldest pending
+    // request has waited max_wait, or when draining after shutdown.
+    const Clock::time_point flush_at = queue_.front().arrival + options_.max_wait;
+    while (!shutdown_ && queue_.size() < options_.max_batch_size) {
+      if (wake_scheduler_.wait_until(lock, flush_at) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    std::vector<Request> batch;
+    const std::size_t take = std::min(queue_.size(), options_.max_batch_size);
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches_dispatched;
+
+    lock.unlock();
+    RunBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void BatchScheduler::RunBatch(std::vector<Request> batch) {
+  // Expire overdue requests without touching the backend. Their promises
+  // are fulfilled below, after the stats update — a caller that has seen
+  // all its futures resolve must also see them counted.
+  const Clock::time_point now = Clock::now();
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  std::vector<Request> overdue;
+  for (Request& request : batch) {
+    (request.deadline <= now ? overdue : live).push_back(std::move(request));
+  }
+
+  std::uint64_t coalesced = 0;
+  std::vector<Result<SearchResult>> outcomes;
+  outcomes.reserve(live.size());
+  if (!live.empty()) {
+    // Coalesce identical requests: production query streams are head-heavy
+    // (hot users/items repeat), and a batch computes each distinct query
+    // once, fanning the answer out to every duplicate — work a per-query
+    // synchronous path cannot share. Sort request indices so equal queries
+    // sit adjacent; `unique_of[i]` maps each request to its group's slot in
+    // the deduplicated batch.
+    std::vector<std::size_t> order(live.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return CompareQueries(live[a].query, live[b].query) < 0;
+    });
+    std::vector<Query> queries;
+    queries.reserve(live.size());
+    std::vector<std::size_t> unique_of(live.size());
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      const std::size_t i = order[rank];
+      // Compare against the materialized unique (the group head's query
+      // now lives in `queries`, not in its moved-from request).
+      if (queries.empty() ||
+          CompareQueries(queries.back(), live[i].query) != 0) {
+        queries.push_back(std::move(live[i].query));
+      } else {
+        ++coalesced;
+      }
+      unique_of[i] = queries.size() - 1;
+    }
+
+    auto results = backend_(queries);
+    std::vector<Result<SearchResult>> per_unique;
+    per_unique.reserve(queries.size());
+    if (results.ok()) {
+      KDASH_CHECK(results->size() == queries.size())
+          << "backend returned " << results->size() << " results for "
+          << queries.size() << " queries";
+      for (auto& result : *results) per_unique.push_back(std::move(result));
+    } else {
+      // Whole-batch failure (e.g. one malformed query fails an
+      // Engine::SearchBatch). Retry per distinct query so only the bad
+      // ones fail.
+      for (std::size_t u = 0; u < queries.size(); ++u) {
+        auto single = backend_({&queries[u], 1});
+        per_unique.push_back(single.ok()
+                                 ? Result<SearchResult>(
+                                       std::move(single->front()))
+                                 : Result<SearchResult>(single.status()));
+      }
+    }
+    // Fan each unique result out to its consumers, copying only for
+    // duplicates: the last consumer of a group takes the result by move,
+    // so the common non-coalesced case never pays a copy.
+    std::vector<std::size_t> consumers(per_unique.size(), 0);
+    for (const std::size_t u : unique_of) ++consumers[u];
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const std::size_t u = unique_of[i];
+      if (--consumers[u] == 0) {
+        outcomes.push_back(std::move(per_unique[u]));
+      } else {
+        outcomes.push_back(per_unique[u]);
+      }
+    }
+  }
+
+  // Count first, then resolve (see the ordering note above).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.deadline_expired += overdue.size();
+    stats_.served += live.size();
+    stats_.coalesced += coalesced;
+  }
+  for (Request& request : overdue) {
+    request.promise.set_value(Status::DeadlineExceeded(
+        "request expired after waiting " +
+        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                           now - request.arrival)
+                           .count()) +
+        "us in the scheduler queue"));
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i].promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+void BatchScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_scheduler_.notify_all();
+  // Serialize the join so concurrent Shutdown calls are safe.
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+BatchScheduler::Stats BatchScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace kdash::serving

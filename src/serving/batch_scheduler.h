@@ -1,0 +1,122 @@
+// kdash::serving::BatchScheduler — async request coalescing.
+//
+// A single synchronous Engine::Search per client request leaves throughput
+// on the table: with C clients and T cores, C < T cores sit idle, and every
+// request pays its own dispatch. The scheduler turns independent requests
+// into micro-batches: Submit() enqueues a query and returns a future
+// immediately; one scheduler thread pops up to max_batch_size requests —
+// waiting at most max_wait after the oldest arrival so a lone request is
+// never stuck — and runs them as one SearchBatch through the backend, which
+// fans the batch across the process-wide thread pool (KDASH_NUM_THREADS;
+// the scheduler itself adds exactly one thread, never a second pool).
+//
+// Batching also shares work sync execution cannot: identical requests in a
+// batch (hot queries of a head-heavy production stream) are coalesced —
+// computed once, answered everywhere.
+//
+// Contracts:
+//   - Submit is thread-safe; results are identical to calling the backend
+//     synchronously per query (coalescing only merges *identical* queries,
+//     whose results are deterministic and equal).
+//   - A request whose deadline passes before its batch is dispatched
+//     resolves to kDeadlineExceeded — it never reaches the backend.
+//   - Shutdown() (and the destructor) stops accepting new work, drains
+//     every already-accepted request (deadlines still honored), then joins
+//     the scheduler thread. Submissions after shutdown resolve immediately
+//     to kUnavailable.
+//   - A batch-level backend error (Engine::SearchBatch fails the whole
+//     batch on one invalid query) triggers a per-request retry, so one bad
+//     request never poisons its batchmates.
+#ifndef KDASH_SERVING_BATCH_SCHEDULER_H_
+#define KDASH_SERVING_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace kdash::serving {
+
+struct BatchSchedulerOptions {
+  // Dispatch as soon as this many requests are pending...
+  std::size_t max_batch_size = 64;
+  // ...or when the oldest pending request has waited this long.
+  std::chrono::microseconds max_wait{500};
+};
+
+class BatchScheduler {
+ public:
+  // The execution backend: Engine::SearchBatch, ShardedEngine::SearchBatch,
+  // or any compatible callable (tests inject slow/failing backends).
+  using Backend =
+      std::function<Result<std::vector<SearchResult>>(std::span<const Query>)>;
+
+  explicit BatchScheduler(Backend backend,
+                          const BatchSchedulerOptions& options = {});
+  ~BatchScheduler();  // Shutdown()
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // Enqueue one query; the future resolves when its batch completes. The
+  // optional timeout is measured from submission: a request still queued
+  // when it expires resolves to kDeadlineExceeded. timeout <= 0 (the
+  // default) means no deadline.
+  std::future<Result<SearchResult>> Submit(
+      Query query,
+      std::chrono::steady_clock::duration timeout =
+          std::chrono::steady_clock::duration::zero());
+
+  // Stop accepting, drain every accepted request, join the thread.
+  // Idempotent and safe to call concurrently with Submit.
+  void Shutdown();
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t batches_dispatched = 0;
+    std::uint64_t served = 0;             // resolved through the backend
+    std::uint64_t coalesced = 0;          // duplicates answered by a batchmate
+    std::uint64_t deadline_expired = 0;   // resolved to kDeadlineExceeded
+    std::uint64_t rejected = 0;           // submitted after shutdown
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    Query query;
+    std::chrono::steady_clock::time_point arrival;
+    std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
+    std::promise<Result<SearchResult>> promise;
+  };
+
+  void SchedulerLoop();
+  // Resolves a popped batch: expired requests get kDeadlineExceeded, the
+  // rest run through the backend (whole-batch first, per-request on a
+  // batch-level error).
+  void RunBatch(std::vector<Request> batch);
+
+  Backend backend_;
+  BatchSchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::mutex join_mutex_;  // serializes concurrent Shutdown joins
+  std::condition_variable wake_scheduler_;
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+  Stats stats_;
+
+  std::thread scheduler_;  // started last, so it sees a fully-built object
+};
+
+}  // namespace kdash::serving
+
+#endif  // KDASH_SERVING_BATCH_SCHEDULER_H_

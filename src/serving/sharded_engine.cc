@@ -1,0 +1,300 @@
+#include "serving/sharded_engine.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/top_k.h"
+
+namespace kdash::serving {
+
+ThreadPool& ShardedEngine::Pool() const {
+  return owned_pool_ != nullptr ? *owned_pool_ : ThreadPool::Shared();
+}
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "kdash-sharded-index v1";
+
+std::string ShardFileName(int s) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d.kdash", s);
+  return name;
+}
+
+// Contiguous fenceposts splitting [0, n) into P near-equal ranges.
+std::vector<NodeId> MakeBounds(NodeId n, int num_shards) {
+  std::vector<NodeId> bounds(static_cast<std::size_t>(num_shards) + 1, 0);
+  for (int s = 0; s <= num_shards; ++s) {
+    bounds[static_cast<std::size_t>(s)] = static_cast<NodeId>(
+        (static_cast<std::int64_t>(n) * s) / num_shards);
+  }
+  return bounds;
+}
+
+Status ManifestError(const std::string& detail) {
+  return Status::DataLoss("corrupt sharded-index manifest: " + detail);
+}
+
+}  // namespace
+
+Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
+                                           const ShardedEngineOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(options.num_shards));
+  }
+  if (graph.num_nodes() > 0 && options.num_shards > graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "num_shards " + std::to_string(options.num_shards) +
+        " exceeds the graph's " + std::to_string(graph.num_nodes()) +
+        " nodes");
+  }
+  if (options.num_search_threads < 0) {
+    return Status::InvalidArgument("num_search_threads must be >= 0");
+  }
+
+  // One full precompute (Engine::Build validates graph and index options),
+  // then P restrictions of it.
+  EngineOptions full_options;
+  full_options.index = options.index;
+  KDASH_ASSIGN_OR_RETURN(auto full, Engine::Build(graph, full_options));
+
+  ShardedEngine sharded;
+  sharded.num_nodes_ = graph.num_nodes();
+  // A dedicated fan-out pool only when the requested size differs from the
+  // shared pool's default — same single-default-pool policy (and same
+  // no-materialization size check) as core::SearcherPool.
+  if (options.num_search_threads > 0 &&
+      options.num_search_threads != DefaultNumThreads()) {
+    sharded.owned_pool_ =
+        std::make_unique<ThreadPool>(options.num_search_threads);
+  }
+  sharded.bounds_ = MakeBounds(graph.num_nodes(), options.num_shards);
+
+  const int num_shards = options.num_shards;
+  std::vector<std::optional<Engine>> shards(
+      static_cast<std::size_t>(num_shards));
+  ThreadPool::Shared().ParallelFor(
+      0, num_shards, /*grain=*/1, [&](Index begin, Index end, int) {
+        for (Index s = begin; s < end; ++s) {
+          const auto i = static_cast<std::size_t>(s);
+          shards[i] = Engine::FromIndex(full.index().Restrict(
+              sharded.bounds_[i], sharded.bounds_[i + 1]));
+        }
+      });
+  sharded.shards_.reserve(static_cast<std::size_t>(num_shards));
+  for (auto& shard : shards) sharded.shards_.push_back(std::move(*shard));
+  return sharded;
+}
+
+Status ShardedEngine::Save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::FailedPrecondition("cannot create directory " + dir + ": " +
+                                      ec.message());
+  }
+  const std::string manifest_path = dir + "/" + kManifestName;
+  std::ofstream manifest(manifest_path);
+  if (!manifest.good()) {
+    return Status::FailedPrecondition("cannot open " + manifest_path +
+                                      " for writing");
+  }
+  manifest << kManifestHeader << "\n";
+  manifest << "num_nodes " << num_nodes_ << "\n";
+  manifest << "num_shards " << num_shards() << "\n";
+  for (int s = 0; s < num_shards(); ++s) {
+    manifest << "shard " << s << " " << shard_begin(s) << " " << shard_end(s)
+             << " " << ShardFileName(s) << "\n";
+  }
+  manifest.flush();
+  if (!manifest.good()) {
+    return Status::DataLoss("manifest write to " + manifest_path + " failed");
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    KDASH_RETURN_IF_ERROR(
+        shards_[static_cast<std::size_t>(s)].Save(dir + "/" + ShardFileName(s)));
+  }
+  return Status::Ok();
+}
+
+Result<ShardedEngine> ShardedEngine::Open(const std::string& dir) {
+  const std::string manifest_path = dir + "/" + kManifestName;
+  std::ifstream manifest(manifest_path);
+  if (!manifest.good()) {
+    return Status::NotFound("no sharded-index manifest at " + manifest_path);
+  }
+
+  std::string header;
+  if (!std::getline(manifest, header)) {
+    return ManifestError("empty manifest");
+  }
+  if (header != kManifestHeader) {
+    if (header.rfind("kdash-sharded-index", 0) == 0) {
+      return Status::FailedPrecondition(
+          "sharded-index version mismatch: manifest says \"" + header +
+          "\", this build reads \"" + kManifestHeader + "\"");
+    }
+    return ManifestError("unrecognized header \"" + header + "\"");
+  }
+
+  NodeId num_nodes = -1;
+  long long num_shards = -1;
+  {
+    std::string keyword;
+    std::string line;
+    if (!std::getline(manifest, line) ||
+        !(std::istringstream(line) >> keyword >> num_nodes) ||
+        keyword != "num_nodes" || num_nodes <= 0) {
+      return ManifestError("bad num_nodes line");
+    }
+    if (!std::getline(manifest, line) ||
+        !(std::istringstream(line) >> keyword >> num_shards) ||
+        keyword != "num_shards" || num_shards < 1 || num_shards > num_nodes) {
+      return ManifestError("bad num_shards line");
+    }
+  }
+
+  const auto shard_count = static_cast<std::size_t>(num_shards);
+  std::vector<NodeId> bounds(shard_count + 1, 0);
+  std::vector<std::string> files(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    std::string line;
+    if (!std::getline(manifest, line)) {
+      return ManifestError("missing shard line " + std::to_string(s));
+    }
+    std::istringstream fields(line);
+    std::string keyword, file;
+    long long id = -1;
+    NodeId begin = -1, end = -1;
+    if (!(fields >> keyword >> id >> begin >> end >> file) ||
+        keyword != "shard" || id != static_cast<long long>(s)) {
+      return ManifestError("bad shard line " + std::to_string(s));
+    }
+    // Shards must partition [0, num_nodes) contiguously and in order.
+    if (begin != bounds[s] || end < begin || end > num_nodes ||
+        (s + 1 == shard_count && end != num_nodes)) {
+      return ManifestError("shard ranges do not partition [0, " +
+                           std::to_string(num_nodes) + ")");
+    }
+    bounds[s + 1] = end;
+    files[s] = std::move(file);
+  }
+
+  // Load the shard files in parallel on the shared pool.
+  std::vector<std::optional<Engine>> loaded(shard_count);
+  std::vector<Status> statuses(shard_count);
+  ThreadPool::Shared().ParallelFor(
+      0, static_cast<Index>(shard_count), /*grain=*/1,
+      [&](Index begin, Index end, int) {
+        for (Index s = begin; s < end; ++s) {
+          const auto i = static_cast<std::size_t>(s);
+          auto engine = Engine::Open(dir + "/" + files[i]);
+          if (engine.ok()) {
+            loaded[i].emplace(std::move(*engine));
+          } else {
+            statuses[i] = engine.status();
+          }
+        }
+      });
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (!statuses[s].ok()) {
+      return Status(statuses[s].code(), "shard " + std::to_string(s) + ": " +
+                                            statuses[s].message());
+    }
+    const Engine& engine = *loaded[s];
+    if (engine.num_nodes() != num_nodes ||
+        engine.index().owned_begin() != bounds[s] ||
+        engine.index().owned_end() != bounds[s + 1] ||
+        engine.restart_prob() != loaded[0]->restart_prob()) {
+      return ManifestError("shard " + std::to_string(s) +
+                           " file disagrees with the manifest");
+    }
+  }
+
+  ShardedEngine sharded;
+  sharded.num_nodes_ = num_nodes;
+  sharded.bounds_ = std::move(bounds);
+  sharded.shards_.reserve(shard_count);
+  for (auto& engine : loaded) sharded.shards_.push_back(std::move(*engine));
+  return sharded;
+}
+
+Result<std::vector<SearchResult>> ShardedEngine::FanOut(
+    std::span<const Query> queries) const {
+  const std::size_t num_queries = queries.size();
+  const auto shard_count = shards_.size();
+  const auto task_count = static_cast<Index>(num_queries * shard_count);
+
+  // One flat (query × shard) loop: partial answers land in fixed slots, so
+  // the merge below is deterministic regardless of which worker ran what.
+  std::vector<SearchResult> partials(num_queries * shard_count);
+  std::vector<Status> statuses(num_queries * shard_count);
+  Pool().ParallelFor(0, task_count, /*grain=*/1, [&](Index begin, Index end,
+                                                     int) {
+    for (Index t = begin; t < end; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      const std::size_t q = i / shard_count;
+      const std::size_t s = i % shard_count;
+      auto result = shards_[s].Search(queries[q]);
+      if (result.ok()) {
+        partials[i] = std::move(*result);
+      } else {
+        statuses[i] = result.status();
+      }
+    }
+  });
+
+  // Every shard validates identically, so scanning in slot order reports
+  // the first failing query deterministically.
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      if (num_queries == 1) return statuses[i];
+      return Status(statuses[i].code(),
+                    "query " + std::to_string(i / shard_count) + ": " +
+                        statuses[i].message());
+    }
+  }
+
+  // Exact merge: each shard returned the exact top-k among its own nodes,
+  // so the global top-k is the k best of the union under the library-wide
+  // (score desc, id asc) total order — the same order TopKHeap applies
+  // inside a single unsharded search.
+  std::vector<SearchResult> results(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    TopKHeap heap(queries[q].k);
+    core::SearchStats merged;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const SearchResult& partial = partials[q * shard_count + s];
+      for (const ScoredNode& entry : partial.top) {
+        heap.Push(entry.node, entry.score);
+      }
+      merged.nodes_visited += partial.stats.nodes_visited;
+      merged.proximity_computations += partial.stats.proximity_computations;
+      merged.terminated_early |= partial.stats.terminated_early;
+      merged.tree_size += partial.stats.tree_size;
+    }
+    results[q].top = heap.Sorted();
+    results[q].stats = merged;
+  }
+  return results;
+}
+
+Result<SearchResult> ShardedEngine::Search(const Query& query) const {
+  KDASH_ASSIGN_OR_RETURN(auto results, FanOut({&query, 1}));
+  return std::move(results.front());
+}
+
+Result<std::vector<SearchResult>> ShardedEngine::SearchBatch(
+    std::span<const Query> queries) const {
+  if (queries.empty()) return std::vector<SearchResult>{};
+  return FanOut(queries);
+}
+
+}  // namespace kdash::serving

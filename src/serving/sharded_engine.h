@@ -1,0 +1,118 @@
+// kdash::serving::ShardedEngine — partitioned indexes with exact merging.
+//
+// One KDashIndex holds two kinds of state: per-query machinery that every
+// query needs in full (L⁻¹ columns for y, the BFS adjacency, the estimator
+// tables — all O(n) or query-source-dependent) and the per-answer-node
+// payload, the U⁻¹ rows, which dominate the footprint (paper Fig. 5). A
+// ShardedEngine splits the payload: node ids [0, n) are partitioned into P
+// contiguous ranges, and shard s keeps only the U⁻¹ rows of its range
+// (KDashIndex::Restrict). A query fans out to every shard; each returns the
+// exact top-k among its own nodes with bit-identical scores to a full
+// index (the proximity kernel sees the same row bytes and the same y), and
+// the per-shard heaps merge under the library-wide (score desc, id asc)
+// total order into the exact global top-k — bit-identical, ids and scores,
+// to a single unsharded Engine.
+//
+// What sharding buys: each shard's U⁻¹ storage is ~1/P of the full index,
+// so P hosts (or P mmap'd files) can serve a graph whose full inverse does
+// not fit one precompute, and per-shard query work shrinks with the shard.
+// What it costs: the shared machinery (L⁻¹, adjacency, estimator tables) is
+// replicated per shard, and per-shard pruning thresholds are local — looser
+// than the global θ — so the summed work across shards exceeds one
+// unsharded query. Sharding is a scale-out tool, not a latency optimization
+// on one small host.
+#ifndef KDASH_SERVING_SHARDED_ENGINE_H_
+#define KDASH_SERVING_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+
+namespace kdash::serving {
+
+struct ShardedEngineOptions {
+  // Number of node partitions. Must be in [1, num_nodes]; each shard owns a
+  // contiguous id range of size ⌈n/P⌉ or ⌊n/P⌋.
+  int num_shards = 2;
+
+  // Precompute knobs for the underlying (single, then restricted) index.
+  core::KDashOptions index;
+
+  // Worker threads for fan-out and batch serving. 0 = the process-wide
+  // shared pool (KDASH_NUM_THREADS workers); the shard engines themselves
+  // always borrow the shared pool so P shards never spawn P pools.
+  int num_search_threads = 0;
+};
+
+class ShardedEngine {
+ public:
+  // Precompute once over the full graph, then split the index into
+  // `options.num_shards` restricted shard engines (restriction runs on the
+  // thread pool, one task per shard). Peak build memory is the full index —
+  // the memory win applies to serving a saved sharded directory, where each
+  // process opens only its shard files.
+  static Result<ShardedEngine> Build(const graph::Graph& graph,
+                                     const ShardedEngineOptions& options = {});
+
+  // Open a sharded index directory written by Save(): a MANIFEST naming the
+  // per-shard files, validated end to end (missing manifest/shard file =
+  // kNotFound, malformed manifest = kDataLoss, version mismatch =
+  // kFailedPrecondition, shards not partitioning [0, n) = kDataLoss). Shard
+  // files load in parallel on the thread pool.
+  static Result<ShardedEngine> Open(const std::string& dir);
+
+  // Persist as a directory: MANIFEST plus one index file per shard.
+  Status Save(const std::string& dir) const;
+
+  // Fan one query out to every shard (in parallel) and merge the per-shard
+  // top-k heaps into the exact global top-k. Same validation and Status
+  // contract as Engine::Search; stats are summed across shards
+  // (terminated_early = any shard pruned).
+  Result<SearchResult> Search(const Query& query) const;
+
+  // Batch variant: queries × shards fan out as one flat parallel loop, so a
+  // large batch keeps every worker busy even when P is small. results[i]
+  // answers queries[i]; any invalid query fails the whole batch, like
+  // Engine::SearchBatch.
+  Result<std::vector<SearchResult>> SearchBatch(
+      std::span<const Query> queries) const;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  // The shard engine owning node range [shard_begin(s), shard_end(s)).
+  const Engine& shard(int s) const { return shards_[static_cast<std::size_t>(s)]; }
+  NodeId shard_begin(int s) const { return bounds_[static_cast<std::size_t>(s)]; }
+  NodeId shard_end(int s) const { return bounds_[static_cast<std::size_t>(s) + 1]; }
+
+  ShardedEngine(ShardedEngine&&) noexcept = default;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept = default;
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+ private:
+  ShardedEngine() = default;
+
+  // Runs every (query, shard) pair on the serving pool, then merges shard
+  // partial top lists per query.
+  Result<std::vector<SearchResult>> FanOut(std::span<const Query> queries) const;
+
+  // The fan-out pool: owned when num_search_threads was set to a size that
+  // differs from the shared pool's, the process-wide shared pool otherwise.
+  ThreadPool& Pool() const;
+
+  NodeId num_nodes_ = 0;
+  std::vector<NodeId> bounds_;  // P + 1 fenceposts: shard s = [b[s], b[s+1])
+  std::vector<Engine> shards_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace kdash::serving
+
+#endif  // KDASH_SERVING_SHARDED_ENGINE_H_

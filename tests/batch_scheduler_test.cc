@@ -1,0 +1,214 @@
+// BatchScheduler semantics: coalescing never changes answers, deadlines
+// surface kDeadlineExceeded, shutdown drains every accepted future, and
+// post-shutdown submissions are rejected with kUnavailable.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serving/batch_scheduler.h"
+#include "test_util.h"
+
+namespace kdash::serving {
+namespace {
+
+using std::chrono::milliseconds;
+
+Engine BuildTestEngine() {
+  auto engine = Engine::Build(test::RandomDirectedGraph(120, 700, 31));
+  KDASH_CHECK(engine.ok());
+  return std::move(*engine);
+}
+
+BatchScheduler::Backend EngineBackend(const Engine& engine) {
+  return [&engine](std::span<const Query> queries) {
+    return engine.SearchBatch(queries);
+  };
+}
+
+TEST(BatchSchedulerTest, SingleSubmitMatchesDirectSearch) {
+  const Engine engine = BuildTestEngine();
+  BatchScheduler scheduler(EngineBackend(engine));
+
+  const Query query = Query::Single(3, 10);
+  auto future = scheduler.Submit(query);
+  const auto via_scheduler = future.get();
+  const auto direct = engine.Search(query);
+  ASSERT_TRUE(via_scheduler.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_scheduler->top.size(), direct->top.size());
+  for (std::size_t r = 0; r < direct->top.size(); ++r) {
+    EXPECT_EQ(via_scheduler->top[r].node, direct->top[r].node);
+    EXPECT_EQ(via_scheduler->top[r].score, direct->top[r].score);
+  }
+}
+
+TEST(BatchSchedulerTest, ConcurrentSubmittersMatchSequentialResults) {
+  const Engine engine = BuildTestEngine();
+  BatchSchedulerOptions options;
+  options.max_batch_size = 16;
+  options.max_wait = milliseconds(1);
+  BatchScheduler scheduler(EngineBackend(engine), options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 40;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<Result<SearchResult>>> outcomes(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::future<Result<SearchResult>>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        Query query = Query::Single((t * kPerThread + i) % engine.num_nodes(),
+                                    5 + static_cast<std::size_t>(i % 3));
+        if (i % 4 == 0) query.exclude = {static_cast<NodeId>(t)};
+        futures.push_back(scheduler.Submit(query));
+      }
+      for (auto& future : futures) {
+        outcomes[static_cast<std::size_t>(t)].push_back(future.get());
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      Query query = Query::Single((t * kPerThread + i) % engine.num_nodes(),
+                                  5 + static_cast<std::size_t>(i % 3));
+      if (i % 4 == 0) query.exclude = {static_cast<NodeId>(t)};
+      const auto expected = engine.Search(query);
+      const auto& got = outcomes[static_cast<std::size_t>(t)]
+                                [static_cast<std::size_t>(i)];
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(got.ok()) << got.status();
+      ASSERT_EQ(got->top.size(), expected->top.size());
+      for (std::size_t r = 0; r < expected->top.size(); ++r) {
+        EXPECT_EQ(got->top[r].node, expected->top[r].node);
+        EXPECT_EQ(got->top[r].score, expected->top[r].score);
+      }
+    }
+  }
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.served, kThreads * kPerThread);
+  // Coalescing actually happened: strictly fewer dispatches than requests.
+  EXPECT_LT(stats.batches_dispatched, stats.submitted);
+}
+
+TEST(BatchSchedulerTest, ExpiredRequestsGetDeadlineExceeded) {
+  // A backend slow enough that a whole batch outlives the next request's
+  // deadline; the expired request must never reach it.
+  std::atomic<int> backend_calls{0};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1;  // each request dispatches alone
+  options.max_wait = milliseconds(0);
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        ++backend_calls;
+        std::this_thread::sleep_for(milliseconds(100));
+        return std::vector<SearchResult>(queries.size());
+      },
+      options);
+
+  // First request occupies the scheduler; the second expires while queued.
+  auto slow = scheduler.Submit(Query::Single(0, 1));
+  auto expired = scheduler.Submit(Query::Single(1, 1), milliseconds(5));
+  ASSERT_TRUE(slow.get().ok());
+  const auto result = expired.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(backend_calls.load(), 1);
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(BatchSchedulerTest, ShutdownDrainsAcceptedFutures) {
+  const Engine engine = BuildTestEngine();
+  BatchSchedulerOptions options;
+  options.max_batch_size = 8;
+  options.max_wait = milliseconds(50);  // long: shutdown must not wait it out
+  BatchScheduler scheduler(EngineBackend(engine), options);
+
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (NodeId q = 0; q < 30; ++q) {
+    futures.push_back(scheduler.Submit(Query::Single(q, 5)));
+  }
+  scheduler.Shutdown();
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(milliseconds(0)), std::future_status::ready)
+        << "shutdown returned before draining";
+    EXPECT_TRUE(future.get().ok());
+  }
+  EXPECT_EQ(scheduler.stats().served, 30u);
+}
+
+TEST(BatchSchedulerTest, SubmitAfterShutdownIsUnavailable) {
+  const Engine engine = BuildTestEngine();
+  BatchScheduler scheduler(EngineBackend(engine));
+  scheduler.Shutdown();
+  auto future = scheduler.Submit(Query::Single(0, 5));
+  const auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(BatchSchedulerTest, IdenticalRequestsCoalesceToOneComputation) {
+  const Engine engine = BuildTestEngine();
+  std::atomic<std::uint64_t> backend_queries{0};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 32;
+  options.max_wait = milliseconds(50);  // let every submission join one batch
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) {
+        backend_queries += queries.size();
+        return engine.SearchBatch(queries);
+      },
+      options);
+
+  const Query hot = Query::Single(5, 10);
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (int i = 0; i < 20; ++i) futures.push_back(scheduler.Submit(hot));
+
+  const auto direct = engine.Search(hot);
+  ASSERT_TRUE(direct.ok());
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->top.size(), direct->top.size());
+    for (std::size_t r = 0; r < direct->top.size(); ++r) {
+      EXPECT_EQ(result->top[r].node, direct->top[r].node);
+      EXPECT_EQ(result->top[r].score, direct->top[r].score);
+    }
+  }
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.served, 20u);
+  // Duplicates shared a computation: the backend saw fewer queries than
+  // were submitted, and the difference is accounted as coalesced.
+  EXPECT_LT(backend_queries.load(), 20u);
+  EXPECT_EQ(backend_queries.load() + stats.coalesced, 20u);
+}
+
+TEST(BatchSchedulerTest, BadRequestDoesNotPoisonItsBatch) {
+  const Engine engine = BuildTestEngine();
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.max_wait = milliseconds(20);  // let all three land in one batch
+  BatchScheduler scheduler(EngineBackend(engine), options);
+
+  auto good1 = scheduler.Submit(Query::Single(1, 5));
+  auto bad = scheduler.Submit(Query::Single(engine.num_nodes() + 7, 5));
+  auto good2 = scheduler.Submit(Query::Single(2, 5));
+
+  EXPECT_TRUE(good1.get().ok());
+  EXPECT_TRUE(good2.get().ok());
+  const auto bad_result = bad.get();
+  ASSERT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kdash::serving

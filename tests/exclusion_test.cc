@@ -1,8 +1,9 @@
 // Tests for result exclusion — the filtering feature used by the
 // recommender scenario (exclude already-rated items) while preserving
 // exactness for the allowed nodes. The exclusion set is owned by
-// SearchOptions::excluded; the borrowed SearchOptions::exclude pointer
-// survives one deprecation cycle and must behave identically.
+// SearchOptions::excluded; SearchOptions::excluded_view is its non-owning
+// companion (what Engine::Search points at Query::exclude) and must behave
+// identically.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -101,16 +102,16 @@ TEST(ExclusionTest, DuplicateExclusionsHarmless) {
   for (const auto& entry : top) EXPECT_NE(entry.node, 10);
 }
 
-// Deprecated-shim coverage: the borrowed pointer must keep working for one
-// release and merge with the owned set.
-TEST(ExclusionTest, DeprecatedBorrowedPointerStillWorks) {
+// The non-owning view must merge with the owned set and yield identical
+// answers to carrying everything in the owned field.
+TEST(ExclusionTest, ExcludedViewMergesWithOwnedSet) {
   const auto g = test::RandomDirectedGraph(100, 600, 76);
   const auto index = KDashIndex::Build(g, {});
   KDashSearcher searcher(&index);
 
-  const std::vector<NodeId> borrowed{0, 1};
+  const std::vector<NodeId> viewed{0, 1};
   SearchOptions options;
-  options.exclude = &borrowed;
+  options.excluded_view = viewed;
   options.excluded = {2, 3};
   const auto merged = searcher.TopK(0, 10, options);
   for (const auto& entry : merged) {

@@ -201,8 +201,9 @@ TEST(IndexIoTest, HugeLengthFieldRejectedNotAllocated) {
   std::string bytes = buffer.str();
   // The first vector length (amax table) sits right after the header and
   // scalar options: 4 magic + 4 version + 8 c + 4 reorder + 8 seed +
-  // 8 drop_tol + 4 num_nodes + 8 amax = 48. Overwrite it with 2^56.
-  bytes[48 + 7] = 0x01;
+  // 8 drop_tol + 4 num_nodes + 4 owned_begin + 4 owned_end + 8 amax = 56.
+  // Overwrite it with 2^56.
+  bytes[56 + 7] = 0x01;
   std::stringstream corrupted(bytes);
   const auto loaded = KDashIndex::Load(corrupted);
   ASSERT_FALSE(loaded.ok());
@@ -232,7 +233,7 @@ TEST(IndexIoTest, LoadFileCorruptFileFails) {
   {
     std::ofstream out(path, std::ios::binary);
     out << "KDSH";
-    const std::uint32_t version = 1;
+    const std::uint32_t version = 2;  // current format (garbage payload)
     out.write(reinterpret_cast<const char*>(&version), sizeof(version));
     out << "garbage-after-header";
   }

@@ -1,0 +1,82 @@
+// Pool-sizing consistency across serving components: one process-wide
+// default-sized pool (KDASH_NUM_THREADS), never one per component. A
+// SearcherPool (and therefore every Engine batch path and every
+// ShardedEngine shard) spawns dedicated workers only when asked for a size
+// that differs from the shared pool's.
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/batch.h"
+#include "core/kdash_index.h"
+#include "serving/sharded_engine.h"
+#include "test_util.h"
+
+namespace kdash::core {
+namespace {
+
+TEST(ServingPoolTest, DefaultSearcherPoolBorrowsTheSharedPool) {
+  const auto g = test::RandomDirectedGraph(60, 350, 41);
+  const auto index = KDashIndex::Build(g, {});
+
+  SearcherPool by_default(&index);
+  EXPECT_FALSE(by_default.owns_pool());
+  EXPECT_EQ(by_default.num_threads(), ThreadPool::Shared().num_threads());
+
+  // Asking for exactly the shared pool's size must not spawn a duplicate.
+  SearcherPool same_size(&index, ThreadPool::Shared().num_threads());
+  EXPECT_FALSE(same_size.owns_pool());
+
+  // A genuinely different size still gets its own pool.
+  const int different = ThreadPool::Shared().num_threads() + 2;
+  SearcherPool dedicated(&index, different);
+  EXPECT_TRUE(dedicated.owns_pool());
+  EXPECT_EQ(dedicated.num_threads(), different);
+}
+
+TEST(ServingPoolTest, PoolsProduceIdenticalBatchResults) {
+  const auto g = test::RandomDirectedGraph(80, 500, 43);
+  const auto index = KDashIndex::Build(g, {});
+  const std::vector<NodeId> queries{0, 5, 17, 33, 79};
+
+  SearcherPool shared(&index, 0);
+  SearcherPool dedicated(&index, ThreadPool::Shared().num_threads() + 1);
+  const auto a = shared.TopKBatch(queries, 10);
+  const auto b = dedicated.TopKBatch(queries, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].top.size(), b[i].top.size());
+    for (std::size_t r = 0; r < a[i].top.size(); ++r) {
+      EXPECT_EQ(a[i].top[r].node, b[i].top[r].node);
+      EXPECT_EQ(a[i].top[r].score, b[i].top[r].score);
+    }
+  }
+}
+
+// Many engines at default settings must not multiply thread pools: a
+// 4-shard ShardedEngine plus its per-shard engines all ride the shared
+// pool, so queries keep working and agree with a single engine (the
+// pool-sharing itself is asserted through SearcherPool above — this is the
+// end-to-end smoke over the same plumbing).
+TEST(ServingPoolTest, ShardedEngineDefaultsRideTheSharedPool) {
+  const auto g = test::RandomDirectedGraph(100, 600, 47);
+  serving::ShardedEngineOptions options;
+  options.num_shards = 4;
+  auto sharded = serving::ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  const Query query = Query::Single(7, 10);
+  const auto a = sharded->Search(query);
+  const auto b = single->Search(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->top.size(), b->top.size());
+  for (std::size_t r = 0; r < a->top.size(); ++r) {
+    EXPECT_EQ(a->top[r].node, b->top[r].node);
+    EXPECT_EQ(a->top[r].score, b->top[r].score);
+  }
+}
+
+}  // namespace
+}  // namespace kdash::core

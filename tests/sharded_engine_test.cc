@@ -1,0 +1,232 @@
+// Sharded-serving exactness: for every shard count, ShardedEngine results
+// (ids AND scores, bit-for-bit) must equal a single unsharded Engine on the
+// same graph — including exclusion sets, personalized restart sets, k
+// larger than a shard, and after a Save/Open round trip of the sharded
+// directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "datasets/datasets.h"
+#include "serving/sharded_engine.h"
+#include "test_util.h"
+
+namespace kdash::serving {
+namespace {
+
+const std::vector<int> kShardCounts{1, 2, 3, 7};
+
+// Every query answered by both engines must match bit-for-bit.
+void ExpectIdentical(const Engine& single, const ShardedEngine& sharded,
+                     const std::vector<Query>& queries, const char* what) {
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto expected = single.Search(queries[i]);
+    const auto got = sharded.Search(queries[i]);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    ASSERT_TRUE(got.ok()) << got.status();
+    ASSERT_EQ(got->top.size(), expected->top.size())
+        << what << ", query " << i;
+    for (std::size_t r = 0; r < expected->top.size(); ++r) {
+      EXPECT_EQ(got->top[r].node, expected->top[r].node)
+          << what << ", query " << i << ", rank " << r;
+      // Bit-identical, not approximately equal: the shard computes the very
+      // same U⁻¹-row dot product over the very same y.
+      EXPECT_EQ(got->top[r].score, expected->top[r].score)
+          << what << ", query " << i << ", rank " << r;
+    }
+  }
+}
+
+std::vector<Query> MixedQueries(NodeId n) {
+  std::vector<Query> queries;
+  for (NodeId q = 0; q < n; q += std::max<NodeId>(1, n / 17)) {
+    queries.push_back(Query::Single(q, 10));
+  }
+  // k far beyond any shard's node count (and beyond n).
+  queries.push_back(Query::Single(0, static_cast<std::size_t>(n) + 5));
+  // Exclusions, including the query node itself.
+  Query excluded = Query::Single(n / 2, 8);
+  excluded.exclude = {n / 2, 0, n - 1};
+  queries.push_back(excluded);
+  // Personalized restart set spanning shard boundaries.
+  queries.push_back(Query::Personalized({0, n / 2, n - 1}, 12));
+  // Pruning disabled (full scan) must agree too.
+  Query unpruned = Query::Single(1, 10);
+  unpruned.use_pruning = false;
+  queries.push_back(unpruned);
+  return queries;
+}
+
+TEST(ShardedEngineTest, BitIdenticalToSingleEngineOnSeedGraphs) {
+  struct Case {
+    const char* name;
+    graph::Graph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"small", test::SmallDirectedGraph()});
+  cases.push_back({"figure8", test::Figure8Graph()});
+  cases.push_back({"random", test::RandomDirectedGraph(120, 700, 11)});
+  for (const auto id : datasets::AllDatasets()) {
+    auto dataset = datasets::MakeDataset(id, 0.02, 5);
+    cases.push_back({"dataset", std::move(dataset.graph)});
+  }
+
+  for (const Case& test_case : cases) {
+    const NodeId n = test_case.graph.num_nodes();
+    auto single = Engine::Build(test_case.graph);
+    ASSERT_TRUE(single.ok()) << single.status();
+    const auto queries = MixedQueries(n);
+    for (const int num_shards : kShardCounts) {
+      if (num_shards > n) continue;
+      ShardedEngineOptions options;
+      options.num_shards = num_shards;
+      auto sharded = ShardedEngine::Build(test_case.graph, options);
+      ASSERT_TRUE(sharded.ok()) << sharded.status();
+      ASSERT_EQ(sharded->num_shards(), num_shards);
+      ExpectIdentical(*single, *sharded, queries,
+                      (std::string(test_case.name) + "/P=" +
+                       std::to_string(num_shards))
+                          .c_str());
+    }
+  }
+}
+
+TEST(ShardedEngineTest, SearchBatchMatchesSingleEngineBatch) {
+  const auto g = test::RandomDirectedGraph(150, 900, 13);
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto sharded = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+
+  const auto queries = MixedQueries(g.num_nodes());
+  const auto expected = single->SearchBatch(queries);
+  const auto got = sharded->SearchBatch(queries);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), expected->size());
+  for (std::size_t i = 0; i < expected->size(); ++i) {
+    ASSERT_EQ((*got)[i].top.size(), (*expected)[i].top.size()) << i;
+    for (std::size_t r = 0; r < (*expected)[i].top.size(); ++r) {
+      EXPECT_EQ((*got)[i].top[r].node, (*expected)[i].top[r].node);
+      EXPECT_EQ((*got)[i].top[r].score, (*expected)[i].top[r].score);
+    }
+  }
+}
+
+TEST(ShardedEngineTest, ShardsOwnDisjointCoveringRangesAndSplitStorage) {
+  const auto g = test::RandomDirectedGraph(100, 600, 17);
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  auto sharded = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  const Index full_nnz = single->index().stats().nnz_upper_inverse;
+
+  NodeId covered = 0;
+  Index sharded_nnz = 0;
+  for (int s = 0; s < sharded->num_shards(); ++s) {
+    EXPECT_EQ(sharded->shard_begin(s), covered);
+    covered = sharded->shard_end(s);
+    const auto& index = sharded->shard(s).index();
+    EXPECT_TRUE(index.IsSharded());
+    sharded_nnz += index.stats().nnz_upper_inverse;
+    // Each shard's U⁻¹ holds strictly less than the full payload.
+    EXPECT_LT(index.stats().nnz_upper_inverse, full_nnz);
+  }
+  EXPECT_EQ(covered, g.num_nodes());
+  // Restriction drops rows, never duplicates them: the shard payloads sum
+  // exactly to the full index's U⁻¹.
+  EXPECT_EQ(sharded_nnz, full_nnz);
+}
+
+TEST(ShardedEngineTest, SaveOpenRoundTripStaysBitIdentical) {
+  const auto g = test::RandomDirectedGraph(90, 500, 19);
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto built = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::string dir = ::testing::TempDir() + "/kdash_sharded_roundtrip";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(built->Save(dir).ok());
+
+  auto opened = ShardedEngine::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(opened->num_nodes(), g.num_nodes());
+  EXPECT_EQ(opened->num_shards(), 3);
+  ExpectIdentical(*single, *opened, MixedQueries(g.num_nodes()), "reopened");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, OpenRejectsMissingAndCorruptManifests) {
+  EXPECT_EQ(ShardedEngine::Open("/nonexistent/sharded-dir").status().code(),
+            StatusCode::kNotFound);
+
+  const std::string dir = ::testing::TempDir() + "/kdash_sharded_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  {  // Version mismatch.
+    std::ofstream(dir + "/MANIFEST") << "kdash-sharded-index v999\n";
+    EXPECT_EQ(ShardedEngine::Open(dir).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {  // Garbage header.
+    std::ofstream(dir + "/MANIFEST") << "not a manifest\n";
+    EXPECT_EQ(ShardedEngine::Open(dir).status().code(), StatusCode::kDataLoss);
+  }
+  {  // Ranges that do not partition [0, n).
+    std::ofstream(dir + "/MANIFEST")
+        << "kdash-sharded-index v1\nnum_nodes 10\nnum_shards 2\n"
+        << "shard 0 0 4 shard-0000.kdash\nshard 1 5 10 shard-0001.kdash\n";
+    EXPECT_EQ(ShardedEngine::Open(dir).status().code(), StatusCode::kDataLoss);
+  }
+  {  // Well-formed manifest but missing shard files.
+    std::ofstream(dir + "/MANIFEST")
+        << "kdash-sharded-index v1\nnum_nodes 10\nnum_shards 2\n"
+        << "shard 0 0 5 shard-0000.kdash\nshard 1 5 10 shard-0001.kdash\n";
+    EXPECT_EQ(ShardedEngine::Open(dir).status().code(), StatusCode::kNotFound);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ShardedEngineTest, BuildValidatesShardCount) {
+  const auto g = test::SmallDirectedGraph();  // 5 nodes
+  ShardedEngineOptions options;
+  options.num_shards = 0;
+  EXPECT_EQ(ShardedEngine::Build(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.num_shards = 6;  // more shards than nodes
+  EXPECT_EQ(ShardedEngine::Build(g, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedEngineTest, InvalidQueriesSurfaceTheEngineStatus) {
+  const auto g = test::RandomDirectedGraph(40, 200, 23);
+  ShardedEngineOptions options;
+  options.num_shards = 2;
+  auto sharded = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+
+  Query bad = Query::Single(999, 5);
+  EXPECT_EQ(sharded->Search(bad).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<Query> batch{Query::Single(0, 5), bad};
+  const auto result = sharded->SearchBatch(batch);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("query 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kdash::serving

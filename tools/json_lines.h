@@ -1,0 +1,123 @@
+// The JSON-lines batch protocol shared by `kdash_cli batch` and
+// `kdash_server`: one request per input line, one JSON object per output
+// line, errors reported inline so a bad request never takes down the
+// stream.
+//
+// Request line grammar (whitespace-separated):
+//   <source> [<source> ...] [-- <exclude> ...] [k=<n>]
+// Response records:
+//   {"id":7,"sources":[3],"k":5,"top":[{"node":9,"score":0.0123},...],
+//    "visited":42,"computed":17,"pruned":true}
+//   {"id":8,"error":"INVALID_ARGUMENT: source node 999 out of range ..."}
+#ifndef KDASH_TOOLS_JSON_LINES_H_
+#define KDASH_TOOLS_JSON_LINES_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+
+namespace kdash::tools {
+
+// Shared `--name=value` flag parsing for the tool binaries.
+inline bool FlagValue(const std::string& arg, const char* name,
+                      std::string* value) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string escaped;
+  for (const char ch : text) {
+    if (ch == '"' || ch == '\\') {
+      escaped += '\\';
+      escaped += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
+      escaped += buffer;
+    } else {
+      escaped += ch;
+    }
+  }
+  return escaped;
+}
+
+// One request line → a Query. Returns false with a message on a malformed
+// line (the caller reports it as an error record and keeps going).
+inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
+                           Query* query, std::string* error) {
+  *query = Query{};
+  query->k = default_k;
+  std::istringstream tokens(line);
+  std::string token;
+  bool excludes = false;
+  while (tokens >> token) {
+    if (token == "--") {
+      excludes = true;
+      continue;
+    }
+    if (token.rfind("k=", 0) == 0) {
+      const std::string value = token.substr(2);
+      const long long parsed = std::atoll(value.c_str());
+      if (parsed <= 0) {
+        *error = "bad k '" + value + "'";
+        return false;
+      }
+      query->k = static_cast<std::size_t>(parsed);
+      continue;
+    }
+    char* end = nullptr;
+    const long long id = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      *error = "bad token '" + token + "'";
+      return false;
+    }
+    if (id < std::numeric_limits<NodeId>::min() ||
+        id > std::numeric_limits<NodeId>::max()) {
+      *error = "node id '" + token + "' out of range";
+      return false;
+    }
+    (excludes ? query->exclude : query->sources)
+        .push_back(static_cast<NodeId>(id));
+  }
+  return true;
+}
+
+inline std::string FormatErrorRecord(long long id, const std::string& message) {
+  return "{\"id\":" + std::to_string(id) + ",\"error\":\"" +
+         JsonEscape(message) + "\"}";
+}
+
+inline std::string FormatResultRecord(long long id, const Query& query,
+                                      const SearchResult& result) {
+  std::string record = "{\"id\":" + std::to_string(id) + ",\"sources\":[";
+  for (std::size_t i = 0; i < query.sources.size(); ++i) {
+    if (i > 0) record += ',';
+    record += std::to_string(query.sources[i]);
+  }
+  record += "],\"k\":" + std::to_string(query.k) + ",\"top\":[";
+  char buffer[64];
+  for (std::size_t i = 0; i < result.top.size(); ++i) {
+    if (i > 0) record += ',';
+    std::snprintf(buffer, sizeof(buffer), "{\"node\":%d,\"score\":%.12g}",
+                  result.top[i].node, result.top[i].score);
+    record += buffer;
+  }
+  record += "],\"visited\":" + std::to_string(result.stats.nodes_visited) +
+            ",\"computed\":" +
+            std::to_string(result.stats.proximity_computations) +
+            ",\"pruned\":" +
+            (result.stats.terminated_early ? "true" : "false") + "}";
+  return record;
+}
+
+}  // namespace kdash::tools
+
+#endif  // KDASH_TOOLS_JSON_LINES_H_

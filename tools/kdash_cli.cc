@@ -27,10 +27,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,6 +38,8 @@
 #include "core/engine.h"
 #include "datasets/datasets.h"
 #include "graph/io.h"
+#include "json_lines.h"
+#include "serving/sharded_engine.h"
 
 namespace kdash {
 namespace {
@@ -48,7 +50,7 @@ int Usage() {
       "usage:\n"
       "  kdash_cli build <edges.txt> <index.kdash> [--c=0.95]\n"
       "            [--reorder=hybrid|cluster|degree|random|identity]\n"
-      "            [--undirected]\n"
+      "            [--undirected] [--shards=P  (writes a sharded dir)]\n"
       "  kdash_cli query <index.kdash> <node> [<node>...] [--k=5]\n"
       "            [--personalized]\n"
       "  kdash_cli batch <index.kdash> [queries.txt|-] [--k=5]\n"
@@ -63,12 +65,18 @@ int Fail(const Status& status) {
   return 1;
 }
 
-bool FlagValue(const std::string& arg, const char* name, std::string* value) {
-  const std::string prefix = std::string(name) + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  *value = arg.substr(prefix.size());
-  return true;
+// query/batch/stats read single-index files; catch a sharded directory
+// early with a pointed message instead of a confusing stream error.
+Result<Engine> OpenIndexFile(const std::string& path) {
+  if (std::filesystem::is_directory(path)) {
+    return Status::FailedPrecondition(
+        path + " is a sharded index directory (built with --shards); serve "
+               "it with kdash_server, which fans queries across the shards");
+  }
+  return Engine::Open(path);
 }
+
+using tools::FlagValue;
 
 bool ParseReorder(const std::string& name, reorder::Method* method) {
   if (name == "hybrid") *method = reorder::Method::kHybrid;
@@ -84,12 +92,16 @@ int CmdBuild(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   EngineOptions options;
   bool undirected = false;
+  int shards = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
     std::string value;
     if (FlagValue(args[i], "--c", &value)) {
       options.index.restart_prob = std::atof(value.c_str());
     } else if (FlagValue(args[i], "--reorder", &value)) {
       if (!ParseReorder(value, &options.index.reorder_method)) return Usage();
+    } else if (FlagValue(args[i], "--shards", &value)) {
+      shards = std::atoi(value.c_str());
+      if (shards < 1) return Usage();
     } else if (args[i] == "--undirected") {
       undirected = true;
     } else {
@@ -101,6 +113,24 @@ int CmdBuild(const std::vector<std::string>& args) {
   const graph::Graph graph = graph::ReadEdgeListFile(args[0], undirected);
   std::printf("loaded %s: %s (%.2fs)\n", args[0].c_str(),
               graph::DescribeGraph(graph).c_str(), timer.Seconds());
+
+  // --shards=P: write a sharded index directory (kdash_server opens it and
+  // fans queries across the shards) instead of one index file.
+  if (shards > 0) {
+    timer.Restart();
+    serving::ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = shards;
+    sharded_options.index = options.index;
+    auto sharded = serving::ShardedEngine::Build(graph, sharded_options);
+    if (!sharded.ok()) return Fail(sharded.status());
+    std::printf("built %d-shard index in %.2fs\n", sharded->num_shards(),
+                timer.Seconds());
+    if (const Status saved = sharded->Save(args[1]); !saved.ok()) {
+      return Fail(saved);
+    }
+    std::printf("wrote sharded index directory %s\n", args[1].c_str());
+    return 0;
+  }
 
   timer.Restart();
   auto engine = Engine::Build(graph, options);
@@ -161,7 +191,7 @@ int CmdQuery(const std::vector<std::string>& args) {
   }
   if (nodes.empty() || k == 0) return Usage();
 
-  auto engine = Engine::Open(args[0]);
+  auto engine = OpenIndexFile(args[0]);
   if (!engine.ok()) return Fail(engine.status());
 
   if (personalized) {
@@ -180,69 +210,10 @@ int CmdQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
-std::string JsonEscape(const std::string& text) {
-  std::string escaped;
-  for (const char ch : text) {
-    if (ch == '"' || ch == '\\') {
-      escaped += '\\';
-      escaped += ch;
-    } else if (static_cast<unsigned char>(ch) < 0x20) {
-      char buffer[8];
-      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                    static_cast<unsigned>(static_cast<unsigned char>(ch)));
-      escaped += buffer;
-    } else {
-      escaped += ch;
-    }
-  }
-  return escaped;
-}
-
-// One line of batch input → a Query. Grammar (whitespace-separated):
-//   <source>... [-- <exclude>...] [k=<n>]
-bool ParseBatchLine(const std::string& line, std::size_t default_k,
-                    Query* query, std::string* error) {
-  *query = Query{};
-  query->k = default_k;
-  std::istringstream tokens(line);
-  std::string token;
-  bool excludes = false;
-  while (tokens >> token) {
-    if (token == "--") {
-      excludes = true;
-      continue;
-    }
-    std::string value;
-    if (FlagValue(token, "k", &value)) {
-      const long long parsed = std::atoll(value.c_str());
-      if (parsed <= 0) {
-        *error = "bad k '" + value + "'";
-        return false;
-      }
-      query->k = static_cast<std::size_t>(parsed);
-      continue;
-    }
-    char* end = nullptr;
-    const long long id = std::strtoll(token.c_str(), &end, 10);
-    if (end == token.c_str() || *end != '\0') {
-      *error = "bad token '" + token + "'";
-      return false;
-    }
-    if (id < std::numeric_limits<NodeId>::min() ||
-        id > std::numeric_limits<NodeId>::max()) {
-      *error = "node id '" + token + "' out of range";
-      return false;
-    }
-    (excludes ? query->exclude : query->sources)
-        .push_back(static_cast<NodeId>(id));
-  }
-  return true;
-}
-
 // JSON-lines batch serving over the Engine: read queries, answer each,
-// report per-query errors inline and keep going. This is the recoverable
-// error contract an async front end needs — one bad request never takes
-// down the stream.
+// report per-query errors inline and keep going. The protocol helpers are
+// shared with kdash_server (tools/json_lines.h) — the async front end
+// speaks exactly this format.
 int CmdBatch(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   std::size_t default_k = 5;
@@ -258,7 +229,7 @@ int CmdBatch(const std::vector<std::string>& args) {
     }
   }
 
-  auto engine = Engine::Open(args[0]);
+  auto engine = OpenIndexFile(args[0]);
   if (!engine.ok()) return Fail(engine.status());
 
   std::ifstream file;
@@ -278,39 +249,28 @@ int CmdBatch(const std::vector<std::string>& args) {
     if (line.empty() || line[0] == '#') continue;
     Query query;
     std::string parse_error;
-    if (!ParseBatchLine(line, default_k, &query, &parse_error)) {
-      std::printf("{\"id\":%lld,\"error\":\"%s\"}\n", id++,
-                  JsonEscape(parse_error).c_str());
+    if (!tools::ParseQueryLine(line, default_k, &query, &parse_error)) {
+      std::printf("%s\n", tools::FormatErrorRecord(id++, parse_error).c_str());
       ++failures;
       continue;
     }
     const auto result = engine->Search(query);
     if (!result.ok()) {
-      std::printf("{\"id\":%lld,\"error\":\"%s\"}\n", id++,
-                  JsonEscape(result.status().ToString()).c_str());
+      std::printf(
+          "%s\n",
+          tools::FormatErrorRecord(id++, result.status().ToString()).c_str());
       ++failures;
       continue;
     }
-    std::printf("{\"id\":%lld,\"sources\":[", id++);
-    for (std::size_t i = 0; i < query.sources.size(); ++i) {
-      std::printf("%s%d", i == 0 ? "" : ",", query.sources[i]);
-    }
-    std::printf("],\"k\":%zu,\"top\":[", query.k);
-    for (std::size_t i = 0; i < result->top.size(); ++i) {
-      std::printf("%s{\"node\":%d,\"score\":%.12g}", i == 0 ? "" : ",",
-                  result->top[i].node, result->top[i].score);
-    }
-    std::printf("],\"visited\":%d,\"computed\":%d,\"pruned\":%s}\n",
-                result->stats.nodes_visited,
-                result->stats.proximity_computations,
-                result->stats.terminated_early ? "true" : "false");
+    std::printf("%s\n",
+                tools::FormatResultRecord(id++, query, *result).c_str());
   }
   return failures == 0 ? 0 : 1;
 }
 
 int CmdStats(const std::vector<std::string>& args) {
   if (args.size() != 1) return Usage();
-  auto engine = Engine::Open(args[0]);
+  auto engine = OpenIndexFile(args[0]);
   if (!engine.ok()) return Fail(engine.status());
   const auto& index = engine->index();
   const auto& stats = index.stats();

@@ -1,0 +1,341 @@
+// kdash_server — JSON-lines serving front end over the micro-batching
+// scheduler. Speaks exactly the `kdash_cli batch` protocol (one request
+// per line, one JSON record per line, inline error records), but routes
+// every request through serving::BatchScheduler, so concurrent request
+// streams coalesce into SearchBatch micro-batches on the shared thread
+// pool.
+//
+//   kdash_server <index.kdash | sharded-index-dir/> [--k=5] [--batch=64]
+//                [--wait-us=500] [--deadline-ms=0] [--window=256]
+//                [--port=7607]
+//
+// The index argument is a single-index file, or a directory written by
+// serving::ShardedEngine::Save (detected automatically; queries then fan
+// out across the shards and merge exactly).
+//
+// Without --port the server pumps stdin→stdout: requests are submitted
+// asynchronously with up to --window in flight, responses print in input
+// order, and EOF drains the scheduler cleanly. With --port it accepts TCP
+// connections (one thread per connection, same line protocol per
+// connection) — requests from *different* clients batch together, which is
+// where micro-batching pays off.
+//
+//   --deadline-ms=N  per-request deadline; expired requests come back as
+//                    {"error":"DEADLINE_EXCEEDED: ..."} records (0 = none)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "json_lines.h"
+#include "serving/batch_scheduler.h"
+#include "serving/sharded_engine.h"
+
+namespace kdash {
+namespace {
+
+struct ServerConfig {
+  std::size_t default_k = 5;
+  std::chrono::milliseconds deadline{0};  // 0 = none
+  std::size_t window = 256;               // max in-flight requests per stream
+  int port = -1;                          // -1 = stdin/stdout mode
+  serving::BatchSchedulerOptions scheduler;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: kdash_server <index.kdash|sharded-dir> [--k=5]\n"
+               "                    [--batch=64] [--wait-us=500]\n"
+               "                    [--deadline-ms=0] [--window=256]\n"
+               "                    [--port=7607]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool NumericFlag(const std::string& arg, const char* name, long long* value) {
+  std::string text;
+  if (!tools::FlagValue(arg, name, &text)) return false;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *value = parsed;
+  return true;
+}
+
+// A line sink the pump can write records to (stdout or a socket).
+using WriteLine = std::function<bool(const std::string&)>;
+
+// One in-flight request of a stream: either an immediately-failed parse
+// (error set) or a query waiting on its scheduler future.
+struct Pending {
+  long long id = 0;
+  Query query;
+  std::string parse_error;
+  std::optional<std::future<Result<SearchResult>>> future;
+};
+
+bool Resolve(Pending& pending, const WriteLine& write) {
+  if (!pending.future.has_value()) {
+    return write(tools::FormatErrorRecord(pending.id, pending.parse_error));
+  }
+  Result<SearchResult> result = pending.future->get();
+  if (!result.ok()) {
+    return write(
+        tools::FormatErrorRecord(pending.id, result.status().ToString()));
+  }
+  return write(tools::FormatResultRecord(pending.id, pending.query, *result));
+}
+
+// Pumps one request stream through the scheduler: a reader submits each
+// line as it arrives (at most `window` in flight, so batches can form
+// without unbounded memory) while a writer thread resolves responses in
+// input order as soon as they complete — a request-response client gets
+// its answer after max_wait, never "once the window fills or EOF".
+void PumpStream(std::istream& in, const WriteLine& write,
+                serving::BatchScheduler& scheduler, const ServerConfig& config) {
+  const auto timeout =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          config.deadline);
+
+  std::mutex mutex;
+  std::condition_variable state_changed;
+  std::deque<Pending> in_flight;
+  bool input_done = false;
+  bool sink_ok = true;
+
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      state_changed.wait(lock,
+                         [&] { return !in_flight.empty() || input_done; });
+      if (in_flight.empty()) return;  // input done, everything resolved
+      Pending pending = std::move(in_flight.front());
+      in_flight.pop_front();
+      lock.unlock();
+      const bool ok = Resolve(pending, write);  // blocks on the future
+      lock.lock();
+      sink_ok = sink_ok && ok;
+      state_changed.notify_all();  // reader may wait on window space
+    }
+  });
+
+  long long id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (line.empty() || line[0] == '#') continue;
+    Pending pending;
+    pending.id = id++;
+    if (tools::ParseQueryLine(line, config.default_k, &pending.query,
+                              &pending.parse_error)) {
+      pending.future = scheduler.Submit(pending.query, timeout);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      state_changed.wait(lock, [&] {
+        return in_flight.size() < config.window || !sink_ok;
+      });
+      if (!sink_ok) break;  // client went away; stop reading
+      in_flight.push_back(std::move(pending));
+    }
+    state_changed.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    input_done = true;
+  }
+  state_changed.notify_all();
+  writer.join();
+}
+
+// ---- TCP mode --------------------------------------------------------------
+
+std::atomic<int> g_listen_fd{-1};
+
+void StopListening(int) {
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) ::close(fd);  // unblocks accept(); the server then drains
+}
+
+// Minimal istream over a socket so PumpStream works unchanged.
+class SocketStreamBuf : public std::streambuf {
+ public:
+  explicit SocketStreamBuf(int fd) : fd_(fd) {}
+
+ protected:
+  int underflow() override {
+    const ssize_t got = ::recv(fd_, buffer_, sizeof(buffer_), 0);
+    if (got <= 0) return traits_type::eof();
+    setg(buffer_, buffer_, buffer_ + got);
+    return traits_type::to_int_type(buffer_[0]);
+  }
+
+ private:
+  int fd_;
+  char buffer_[4096];
+};
+
+bool SendAll(int fd, const std::string& record) {
+  std::string payload = record + "\n";
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t wrote =
+        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (wrote <= 0) return false;
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+int ServeTcp(serving::BatchScheduler& scheduler, const ServerConfig& config) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Fail(Status::Internal("socket() failed"));
+  const int reuse = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config.port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 64) < 0) {
+    ::close(listen_fd);
+    return Fail(Status::Unavailable("cannot listen on 127.0.0.1:" +
+                                    std::to_string(config.port)));
+  }
+  g_listen_fd.store(listen_fd);
+  std::signal(SIGINT, StopListening);
+  std::signal(SIGTERM, StopListening);
+  std::fprintf(stderr, "kdash_server listening on 127.0.0.1:%d\n", config.port);
+
+  // Connection threads are detached and counted, not collected: a
+  // long-lived server must not hold one zombie thread stack per finished
+  // connection. Shutdown drains by waiting for the count to hit zero.
+  std::mutex active_mutex;
+  std::condition_variable active_cv;
+  int active_connections = 0;
+  for (;;) {
+    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (conn_fd < 0) break;  // listener closed by signal
+    {
+      std::lock_guard<std::mutex> lock(active_mutex);
+      ++active_connections;
+    }
+    std::thread([conn_fd, &scheduler, &config, &active_mutex, &active_cv,
+                 &active_connections] {
+      SocketStreamBuf buf(conn_fd);
+      std::istream in(&buf);
+      PumpStream(in, [conn_fd](const std::string& record) {
+        return SendAll(conn_fd, record);
+      }, scheduler, config);
+      ::close(conn_fd);
+      {
+        std::lock_guard<std::mutex> lock(active_mutex);
+        --active_connections;
+      }
+      active_cv.notify_all();
+    }).detach();
+  }
+  std::unique_lock<std::mutex> lock(active_mutex);
+  active_cv.wait(lock, [&] { return active_connections == 0; });
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string index_path = argv[1];
+  ServerConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long value = 0;
+    if (NumericFlag(arg, "--k", &value) && value > 0) {
+      config.default_k = static_cast<std::size_t>(value);
+    } else if (NumericFlag(arg, "--batch", &value) && value > 0) {
+      config.scheduler.max_batch_size = static_cast<std::size_t>(value);
+    } else if (NumericFlag(arg, "--wait-us", &value) && value >= 0) {
+      config.scheduler.max_wait = std::chrono::microseconds(value);
+    } else if (NumericFlag(arg, "--deadline-ms", &value) && value >= 0) {
+      config.deadline = std::chrono::milliseconds(value);
+    } else if (NumericFlag(arg, "--window", &value) && value > 0) {
+      config.window = static_cast<std::size_t>(value);
+    } else if (NumericFlag(arg, "--port", &value) && value > 0 && value < 65536) {
+      config.port = static_cast<int>(value);
+    } else {
+      return Usage();
+    }
+  }
+
+  // A sharded directory or a single index file, behind one Backend.
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<serving::ShardedEngine> sharded;
+  serving::BatchScheduler::Backend backend;
+  if (std::filesystem::is_directory(index_path)) {
+    auto opened = serving::ShardedEngine::Open(index_path);
+    if (!opened.ok()) return Fail(opened.status());
+    sharded = std::make_unique<serving::ShardedEngine>(std::move(*opened));
+    backend = [&s = *sharded](std::span<const Query> queries) {
+      return s.SearchBatch(queries);
+    };
+    std::fprintf(stderr, "opened sharded index: %d nodes, %d shards\n",
+                 sharded->num_nodes(), sharded->num_shards());
+  } else {
+    auto opened = Engine::Open(index_path);
+    if (!opened.ok()) return Fail(opened.status());
+    engine = std::make_unique<Engine>(std::move(*opened));
+    backend = [&e = *engine](std::span<const Query> queries) {
+      return e.SearchBatch(queries);
+    };
+    std::fprintf(stderr, "opened index: %d nodes\n", engine->num_nodes());
+  }
+
+  serving::BatchScheduler scheduler(std::move(backend), config.scheduler);
+  int exit_code = 0;
+  if (config.port > 0) {
+    exit_code = ServeTcp(scheduler, config);
+  } else {
+    // Flush per record: an interactive client must see each response as it
+    // resolves, not when the stdio buffer happens to fill.
+    PumpStream(std::cin, [](const std::string& record) {
+      return std::fwrite(record.data(), 1, record.size(), stdout) ==
+                 record.size() &&
+             std::fputc('\n', stdout) != EOF && std::fflush(stdout) == 0;
+    }, scheduler, config);
+  }
+
+  scheduler.Shutdown();
+  const auto stats = scheduler.stats();
+  std::fprintf(stderr,
+               "served %llu requests in %llu batches (%llu expired, %llu "
+               "rejected)\n",
+               static_cast<unsigned long long>(stats.served),
+               static_cast<unsigned long long>(stats.batches_dispatched),
+               static_cast<unsigned long long>(stats.deadline_expired),
+               static_cast<unsigned long long>(stats.rejected));
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace kdash
+
+int main(int argc, char** argv) { return kdash::Main(argc, argv); }
