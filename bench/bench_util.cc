@@ -5,8 +5,15 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/timer.h"
+
+// Stamped by CMake at configure time (git rev-parse --short HEAD); builds
+// outside a git checkout fall back to "unknown".
+#ifndef KDASH_GIT_SHA
+#define KDASH_GIT_SHA "unknown"
+#endif
 
 namespace kdash::bench {
 
@@ -116,6 +123,8 @@ void PrintJsonRecords(const std::string& bench_name,
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", BenchScale());
   out += buffer;
+  out += ",\"git_sha\":\"" + JsonEscape(KDASH_GIT_SHA) + "\"";
+  out += ",\"num_threads\":" + std::to_string(DefaultNumThreads());
   out += ",\"records\":[";
   for (std::size_t i = 0; i < records.size(); ++i) {
     if (i > 0) out += ",";

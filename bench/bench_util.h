@@ -58,8 +58,12 @@ class JsonObject {
   std::string body_;
 };
 
-// Prints {"bench":<name>,"scale":<BenchScale()>,"records":[...]} on one
-// line, making bench output grep-able between human-readable tables.
+// Prints {"bench":<name>,"scale":<BenchScale()>,"git_sha":...,
+// "num_threads":...,"records":[...]} on one line, making bench output
+// grep-able between human-readable tables. git_sha is the configure-time
+// HEAD (so cross-PR trajectories are attributable to a revision) and
+// num_threads is the process-default pool size (KDASH_NUM_THREADS or
+// hardware concurrency) the run executed under.
 void PrintJsonRecords(const std::string& bench_name,
                       const std::vector<JsonObject>& records);
 

@@ -1,8 +1,11 @@
-// Thread-scaling of the two parallelized paths: the precompute's explicit
-// triangular inversion (the Figure 6 axis) and batch query serving through
-// the persistent SearcherPool (the Figure 2 axis). Prints a human-readable
-// table plus one machine-readable JSON line per axis so future changes have
-// a perf trajectory to compare against.
+// Thread-scaling of the parallelized paths: the precompute's two heavy
+// stages — level-scheduled LU factorization and the explicit triangular
+// inverses (the Figure 6 axis) — and batch query serving through the
+// persistent SearcherPool (the Figure 2 axis). Prints a human-readable
+// table plus one machine-readable JSON line so future changes have a perf
+// trajectory to compare against; every record carries the full per-stage
+// precompute breakdown (reorder / LU / L⁻¹ / U⁻¹) so the trajectory shows
+// where the sequential wall is.
 #include <cstdio>
 #include <vector>
 
@@ -23,30 +26,45 @@ namespace {
 int Main() {
   const auto n = static_cast<NodeId>(8000 * BenchScale());
   PrintBenchHeader("Parallel scaling: precompute + batch serving",
-                   "threads x {inverse-build seconds, batch QPS}; "
+                   "threads x {LU seconds, inverse seconds, batch QPS}; "
                    "hardware threads: " + std::to_string(DefaultNumThreads()));
 
   Rng rng(42);
   const auto graph =
       graph::PowerLawCluster(n, 6, 0.6, /*directed=*/true, 0.4, rng);
 
-  // The inversion input: factors of the reordered RWR system matrix,
-  // exactly as KDashIndex::Build produces them.
-  const auto order = reorder::ComputeReordering(graph, reorder::Method::kHybrid);
+  // Stage inputs, exactly as KDashIndex::Build stages them. Reordering is
+  // the remaining sequential stage — timed once as the breakdown baseline
+  // (it is deterministic, so the last timed run doubles as the result).
+  reorder::Reordering order;
+  const double reorder_seconds = MedianSeconds(
+      [&] { order = reorder::ComputeReordering(graph, reorder::Method::kHybrid); },
+      3);
   const auto a_perm =
       sparse::PermuteSymmetric(graph.NormalizedAdjacency(), order.new_of_old);
-  const auto factors = lu::FactorizeLu(lu::BuildRwrSystemMatrix(a_perm, 0.95));
+  const auto w = lu::BuildRwrSystemMatrix(a_perm, 0.95);
+  const auto factors = lu::FactorizeLu(w);
 
   const auto index = core::KDashIndex::Build(graph, {});
   const auto queries = SampleQueries(graph, 256);
 
   const std::vector<int> thread_counts{1, 2, 4, 8};
-  PrintTableHeader({"threads", "invert_sec", "speedup", "batch_qps", "qps_x"});
+  PrintTableHeader({"threads", "lu_sec", "lu_x", "linv_sec", "uinv_sec",
+                    "inv_x", "batch_qps", "qps_x"});
 
   std::vector<JsonObject> records;
+  double lu_base = 0.0;
   double invert_base = 0.0;
   double qps_base = 0.0;
   for (const int threads : thread_counts) {
+    const double lu_seconds = MedianSeconds(
+        [&] { lu::FactorizeLu(w, lu::LuOptions{threads}); }, 3);
+    const double lower_inverse_seconds = MedianSeconds(
+        [&] { lu::InvertLowerTriangular(factors.lower, 0.0, threads); }, 3);
+    const double upper_inverse_seconds = MedianSeconds(
+        [&] { lu::InvertUpperTriangular(factors.upper, 0.0, threads); }, 3);
+    // The legacy index_build_seconds key keeps its original methodology (one
+    // combined L⁻¹ + U⁻¹ timing) so the cross-PR trajectory stays comparable.
     const double invert_seconds = MedianSeconds(
         [&] {
           lu::InvertLowerTriangular(factors.lower, 0.0, threads);
@@ -60,14 +78,22 @@ int Main() {
     const double qps = static_cast<double>(queries.size()) / batch_seconds;
 
     if (threads == 1) {
+      lu_base = lu_seconds;
       invert_base = invert_seconds;
       qps_base = qps;
     }
     PrintTableRow("t=" + std::to_string(threads),
-                  {static_cast<double>(threads), invert_seconds,
-                   invert_base / invert_seconds, qps, qps / qps_base});
+                  {static_cast<double>(threads), lu_seconds,
+                   lu_base / lu_seconds, lower_inverse_seconds,
+                   upper_inverse_seconds, invert_base / invert_seconds, qps,
+                   qps / qps_base});
     records.push_back(JsonObject()
                           .Add("threads", threads)
+                          .Add("reorder_seconds", reorder_seconds)
+                          .Add("lu_seconds", lu_seconds)
+                          .Add("lu_speedup", lu_base / lu_seconds)
+                          .Add("lower_inverse_seconds", lower_inverse_seconds)
+                          .Add("upper_inverse_seconds", upper_inverse_seconds)
                           .Add("index_build_seconds", invert_seconds)
                           .Add("index_build_speedup", invert_base / invert_seconds)
                           .Add("batch_qps", qps)

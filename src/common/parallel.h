@@ -59,6 +59,12 @@ class ThreadPool {
   // chunks of at most `grain` indices and call fn(chunk_begin, chunk_end,
   // rank). Chunk boundaries are deterministic (see header comment); chunk
   // → rank assignment is not. grain <= 0 is treated as 1.
+  //
+  // Barrier guarantee: when ParallelFor returns, every fn invocation has
+  // returned and its writes happen-before the caller's subsequent reads —
+  // and therefore before any later job on the same pool. Stage-by-stage
+  // pipelines (the level-scheduled LU factors one dependency level per
+  // call) need no synchronization beyond this.
   void ParallelFor(Index begin, Index end, Index grain,
                    const std::function<void(Index, Index, int)>& fn);
 

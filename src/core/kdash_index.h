@@ -37,11 +37,12 @@ struct KDashOptions {
   // Nonzero values trade a bounded proximity error for sparser inverses;
   // used only by the ablation benchmark.
   Scalar drop_tolerance = 0.0;
-  // Worker threads for the precompute's parallel stages (the explicit
-  // triangular inverses). 0 = KDASH_NUM_THREADS or hardware concurrency.
-  // An execution knob, not index state: it does not affect the built index
-  // (the parallel inverse is bit-identical to the sequential one) and is
-  // not serialized by Save/Load.
+  // Worker threads for the precompute's parallel stages (the level-scheduled
+  // LU factorization and the explicit triangular inverses). 0 =
+  // KDASH_NUM_THREADS or hardware concurrency. An execution knob, not index
+  // state: it does not affect the built index (both parallel stages are
+  // bit-identical to their sequential counterparts) and is not serialized by
+  // Save/Load.
   int num_threads = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "sparse/coo_builder.h"
 
 namespace kdash::lu {
@@ -175,6 +176,294 @@ LuFactors FactorizeLu(const sparse::CscMatrix& w) {
   factors.upper =
       sparse::CscMatrix(n, n, std::move(u_ptr), std::move(u_rows), std::move(u_vals));
   return factors;
+}
+
+namespace {
+
+// The column elimination schedule: everything the numeric pass needs to
+// factor columns out of order. Produced by one sequential symbolic sweep
+// (the same per-column DFS the sequential code runs, minus the arithmetic).
+struct LuSchedule {
+  // Column j's dependency columns (the k < j part of its elimination
+  // reach) in numeric replay order — reverse DFS postorder, a topological
+  // order of its dependency subgraph, exactly the sequence the sequential
+  // numeric loop eliminates. Non-dependency reach nodes (k >= j) only
+  // matter to the gather, which walks the pattern arrays below instead.
+  std::vector<Index> reach_ptr;     // n + 1
+  std::vector<NodeId> reach_nodes;  // nnz(U) - n
+
+  // Symbolic column patterns, sorted ascending: column j's below-diagonal
+  // L rows are l_pattern[l_off[j] .. l_off[j+1]), its U rows (diagonal
+  // included) u_pattern[u_off[j] .. u_off[j+1]). The numeric buffers use
+  // the same offsets, and the gather walks these slices directly — the
+  // sequential code's per-column sort already happened here.
+  std::vector<Index> l_off;  // n + 1
+  std::vector<Index> u_off;  // n + 1
+  std::vector<NodeId> l_pattern;
+  std::vector<NodeId> u_pattern;
+
+  // Dependency levels: level ℓ's columns are level_cols[level_ptr[ℓ] ..
+  // level_ptr[ℓ+1]), ascending. Every dependency of a level-ℓ column lives
+  // in a level < ℓ, so one barrier per level is the only sync needed.
+  std::vector<Index> level_ptr;
+  std::vector<NodeId> level_cols;
+};
+
+LuSchedule AnalyzeLu(const sparse::CscMatrix& w) {
+  const NodeId n = w.rows();
+  LuSchedule sym;
+  sym.reach_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  sym.l_off.assign(static_cast<std::size_t>(n) + 1, 0);
+  sym.u_off.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  std::vector<NodeId> level_of(static_cast<std::size_t>(n), 0);
+  NodeId num_levels = 0;
+
+  ReachDfs dfs(n);
+  std::vector<NodeId> roots, topo;
+  for (NodeId j = 0; j < n; ++j) {
+    roots.clear();
+    const Index col_end = w.ColEnd(j);
+    for (Index k = w.ColBegin(j); k < col_end; ++k) {
+      roots.push_back(w.RowIndex(k));
+    }
+    // The DFS walks the symbolic L structure grown by the previous
+    // columns: l_off[k .. k+1] is final for every k < j.
+    dfs.Run(sym.l_off, sym.l_pattern, /*pivot_limit=*/j, roots, topo);
+
+    // Replay order = the order the sequential numeric loop iterates;
+    // dropping the k >= j entries it skips preserves the relative order of
+    // the rest.
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      if (*it < j) sym.reach_nodes.push_back(*it);
+    }
+    sym.reach_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<Index>(sym.reach_nodes.size());
+
+    // Column j depends on every eliminated column in its reach.
+    NodeId level = 0;
+    for (const NodeId k : topo) {
+      if (k < j) {
+        level = std::max(level,
+                         static_cast<NodeId>(level_of[static_cast<std::size_t>(k)] + 1));
+      }
+    }
+    level_of[static_cast<std::size_t>(j)] = level;
+    num_levels = std::max(num_levels, static_cast<NodeId>(level + 1));
+
+    // Split the sorted pattern (the numeric gather order) into the U and
+    // below-diagonal L parts; the L part is also the structure later
+    // columns' DFS runs over.
+    std::sort(topo.begin(), topo.end());
+    for (const NodeId i : topo) {
+      (i <= j ? sym.u_pattern : sym.l_pattern).push_back(i);
+    }
+    sym.l_off[static_cast<std::size_t>(j) + 1] =
+        static_cast<Index>(sym.l_pattern.size());
+    sym.u_off[static_cast<std::size_t>(j) + 1] =
+        static_cast<Index>(sym.u_pattern.size());
+  }
+
+  // Bucket columns by level (counting sort keeps each level ascending).
+  sym.level_ptr.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  for (NodeId j = 0; j < n; ++j) {
+    ++sym.level_ptr[static_cast<std::size_t>(level_of[static_cast<std::size_t>(j)]) + 1];
+  }
+  for (NodeId l = 0; l < num_levels; ++l) {
+    sym.level_ptr[static_cast<std::size_t>(l) + 1] +=
+        sym.level_ptr[static_cast<std::size_t>(l)];
+  }
+  sym.level_cols.resize(static_cast<std::size_t>(n));
+  std::vector<Index> cursor(sym.level_ptr.begin(), sym.level_ptr.end() - 1);
+  for (NodeId j = 0; j < n; ++j) {
+    sym.level_cols[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level_of[static_cast<std::size_t>(j)])]++)] = j;
+  }
+  return sym;
+}
+
+LuFactors FactorizeLevelScheduled(const sparse::CscMatrix& w,
+                                  ThreadPool& pool) {
+  const NodeId n = w.rows();
+  const LuSchedule sym = AnalyzeLu(w);
+
+  // Numeric output buffers at the symbolic offsets. Actual per-column
+  // counts can only fall short of symbolic on exact cancellation (never for
+  // RWR matrices), so columns are compacted at assembly.
+  const std::size_t l_capacity =
+      static_cast<std::size_t>(sym.l_off[static_cast<std::size_t>(n)]);
+  const std::size_t u_capacity =
+      static_cast<std::size_t>(sym.u_off[static_cast<std::size_t>(n)]);
+  std::vector<NodeId> l_rows(l_capacity);
+  std::vector<Scalar> l_vals(l_capacity);
+  std::vector<NodeId> u_rows(u_capacity);
+  std::vector<Scalar> u_vals(u_capacity);
+  std::vector<Index> l_cnt(static_cast<std::size_t>(n), 0);
+  std::vector<Index> u_cnt(static_cast<std::size_t>(n), 0);
+
+  // Per-thread scatter workspace: the dense accumulator of one in-flight
+  // column (cleared along its pattern after every gather).
+  struct Workspace {
+    std::vector<Scalar> x;
+
+    void EnsureSize(NodeId nodes) {
+      if (x.size() != static_cast<std::size_t>(nodes)) {
+        x.assign(static_cast<std::size_t>(nodes), 0.0);
+      }
+    }
+  };
+  std::vector<Workspace> workspaces(
+      static_cast<std::size_t>(pool.num_threads()));
+
+  // Replays the sequential numeric elimination of column j: identical
+  // scatter, identical update sequence (the stored reach order), identical
+  // ascending gather — hence bit-identical values.
+  const auto factor_column = [&](NodeId j, Workspace& ws) {
+    std::vector<Scalar>& x = ws.x;
+    const Index col_end = w.ColEnd(j);
+    for (Index k = w.ColBegin(j); k < col_end; ++k) {
+      x[static_cast<std::size_t>(w.RowIndex(k))] = w.Value(k);
+    }
+
+    const Index reach_begin = sym.reach_ptr[static_cast<std::size_t>(j)];
+    const Index reach_end = sym.reach_ptr[static_cast<std::size_t>(j) + 1];
+    for (Index t = reach_begin; t < reach_end; ++t) {
+      const NodeId k = sym.reach_nodes[static_cast<std::size_t>(t)];
+      const Scalar xk = x[static_cast<std::size_t>(k)];
+      if (xk == 0.0) continue;
+      const Index begin = sym.l_off[static_cast<std::size_t>(k)];
+      const Index end = begin + l_cnt[static_cast<std::size_t>(k)];
+      for (Index s = begin; s < end; ++s) {
+        x[static_cast<std::size_t>(l_rows[static_cast<std::size_t>(s)])] -=
+            l_vals[static_cast<std::size_t>(s)] * xk;
+      }
+    }
+
+    const Scalar pivot = x[static_cast<std::size_t>(j)];
+    KDASH_CHECK(pivot != 0.0) << "zero pivot at column " << j
+                              << " (matrix not diagonally dominant?)";
+    // Gather along the presorted symbolic pattern — the same ascending
+    // order the sequential code reaches by sorting per column (every U row
+    // ≤ j < every L row, and both slices are ascending).
+    const Index l_base = sym.l_off[static_cast<std::size_t>(j)];
+    const Index u_base = sym.u_off[static_cast<std::size_t>(j)];
+    Index uc = 0;
+    for (Index s = u_base; s < sym.u_off[static_cast<std::size_t>(j) + 1]; ++s) {
+      const NodeId i = sym.u_pattern[static_cast<std::size_t>(s)];
+      const Scalar xi = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;  // clear for the next column
+      if (xi == 0.0) continue;               // numerically cancelled
+      u_rows[static_cast<std::size_t>(u_base + uc)] = i;
+      u_vals[static_cast<std::size_t>(u_base + uc)] = xi;
+      ++uc;
+    }
+    Index lc = 0;
+    for (Index s = l_base; s < sym.l_off[static_cast<std::size_t>(j) + 1]; ++s) {
+      const NodeId i = sym.l_pattern[static_cast<std::size_t>(s)];
+      const Scalar xi = x[static_cast<std::size_t>(i)];
+      x[static_cast<std::size_t>(i)] = 0.0;
+      if (xi == 0.0) continue;
+      l_rows[static_cast<std::size_t>(l_base + lc)] = i;
+      l_vals[static_cast<std::size_t>(l_base + lc)] = xi / pivot;
+      ++lc;
+    }
+    l_cnt[static_cast<std::size_t>(j)] = lc;
+    u_cnt[static_cast<std::size_t>(j)] = uc;
+  };
+
+  // Numeric pass, one level at a time. Columns inside a level share no
+  // dependencies; the ParallelFor barrier between levels orders every read
+  // of a dependency column after its write. Narrow levels (elimination
+  // chains) run inline on the caller — a pool dispatch costs more than a
+  // handful of columns.
+  constexpr Index kInlineLevelWidth = 4;
+  const std::size_t num_levels = sym.level_ptr.size() - 1;
+  for (std::size_t level = 0; level < num_levels; ++level) {
+    const Index begin = sym.level_ptr[level];
+    const Index end = sym.level_ptr[level + 1];
+    const Index width = end - begin;
+    if (width <= kInlineLevelWidth) {
+      Workspace& ws = workspaces[0];
+      ws.EnsureSize(n);
+      for (Index c = begin; c < end; ++c) {
+        factor_column(sym.level_cols[static_cast<std::size_t>(c)], ws);
+      }
+      continue;
+    }
+    const Index grain = std::max<Index>(
+        1, width / (static_cast<Index>(pool.num_threads()) * 4));
+    pool.ParallelFor(begin, end, grain, [&](Index c_begin, Index c_end, int rank) {
+      Workspace& ws = workspaces[static_cast<std::size_t>(rank)];
+      ws.EnsureSize(n);
+      for (Index c = c_begin; c < c_end; ++c) {
+        factor_column(sym.level_cols[static_cast<std::size_t>(c)], ws);
+      }
+    });
+  }
+
+  // Assembly: compact the per-column slices into final CSC arrays — unit
+  // diagonal prepended to L, exactly like the sequential assembly.
+  std::vector<Index> lf_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<Index> uf_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId j = 0; j < n; ++j) {
+    lf_ptr[static_cast<std::size_t>(j) + 1] =
+        lf_ptr[static_cast<std::size_t>(j)] + 1 + l_cnt[static_cast<std::size_t>(j)];
+    uf_ptr[static_cast<std::size_t>(j) + 1] =
+        uf_ptr[static_cast<std::size_t>(j)] + u_cnt[static_cast<std::size_t>(j)];
+  }
+  std::vector<NodeId> lf_rows(
+      static_cast<std::size_t>(lf_ptr[static_cast<std::size_t>(n)]));
+  std::vector<Scalar> lf_vals(lf_rows.size());
+  std::vector<NodeId> uf_rows(
+      static_cast<std::size_t>(uf_ptr[static_cast<std::size_t>(n)]));
+  std::vector<Scalar> uf_vals(uf_rows.size());
+  pool.ParallelFor(0, n, 256, [&](Index j_begin, Index j_end, int) {
+    for (Index j = j_begin; j < j_end; ++j) {
+      Index out = lf_ptr[static_cast<std::size_t>(j)];
+      lf_rows[static_cast<std::size_t>(out)] = static_cast<NodeId>(j);
+      lf_vals[static_cast<std::size_t>(out)] = 1.0;
+      ++out;
+      const Index l_base = sym.l_off[static_cast<std::size_t>(j)];
+      for (Index s = 0; s < l_cnt[static_cast<std::size_t>(j)]; ++s, ++out) {
+        lf_rows[static_cast<std::size_t>(out)] =
+            l_rows[static_cast<std::size_t>(l_base + s)];
+        lf_vals[static_cast<std::size_t>(out)] =
+            l_vals[static_cast<std::size_t>(l_base + s)];
+      }
+      Index u_out = uf_ptr[static_cast<std::size_t>(j)];
+      const Index u_base = sym.u_off[static_cast<std::size_t>(j)];
+      for (Index s = 0; s < u_cnt[static_cast<std::size_t>(j)]; ++s, ++u_out) {
+        uf_rows[static_cast<std::size_t>(u_out)] =
+            u_rows[static_cast<std::size_t>(u_base + s)];
+        uf_vals[static_cast<std::size_t>(u_out)] =
+            u_vals[static_cast<std::size_t>(u_base + s)];
+      }
+    }
+  });
+
+  LuFactors factors;
+  factors.lower = sparse::CscMatrix(n, n, std::move(lf_ptr), std::move(lf_rows),
+                                    std::move(lf_vals));
+  factors.upper = sparse::CscMatrix(n, n, std::move(uf_ptr), std::move(uf_rows),
+                                    std::move(uf_vals));
+  return factors;
+}
+
+}  // namespace
+
+LuFactors FactorizeLu(const sparse::CscMatrix& w, const LuOptions& options) {
+  KDASH_CHECK_EQ(w.rows(), w.cols());
+  // 0 borrows the process-wide shared pool (no per-call thread spawns); an
+  // explicit T > 1 gets a dedicated pool — the same policy as the inverse
+  // builders. One column (or one effective thread) has nothing to overlap.
+  if (options.num_threads <= 0) {
+    ThreadPool& shared = ThreadPool::Shared();
+    if (shared.num_threads() == 1 || w.cols() < 2) return FactorizeLu(w);
+    return FactorizeLevelScheduled(w, shared);
+  }
+  if (options.num_threads == 1 || w.cols() < 2) return FactorizeLu(w);
+  ThreadPool pool(options.num_threads);
+  return FactorizeLevelScheduled(w, pool);
 }
 
 }  // namespace kdash::lu

@@ -10,6 +10,21 @@
 // solves the sparse triangular system L x = W(:, j) with a symbolic DFS that
 // discovers the nonzero pattern first, so total work is proportional to
 // arithmetic operations (not to n²).
+//
+// Parallel variant (level scheduling). Column j of the factorization reads
+// exactly the columns k < j that appear in its elimination reach — the
+// column dependency DAG of sparse-direct folklore (SuperLU_MT's elimination
+// scheduling). Since K-dash factors a *fixed* reorder-optimized pattern, the
+// DAG is known up front: a sequential symbolic pass computes every column's
+// reach (stored in the numeric replay order) and groups columns into
+// dependency levels; the numeric pass then factors each level's columns
+// concurrently on the shared thread pool with per-thread scatter
+// workspaces. Each column replays the identical per-column arithmetic
+// sequence of the sequential code, so the parallel factors are bit-identical
+// to FactorizeLu(w) at every thread count — the same guarantee the explicit
+// inverse builders give. (The symbolic schedule assumes no entry cancels to
+// exactly 0.0 mid-elimination; W = I - (1-c)A is a sign-structured M-matrix,
+// so cancellation cannot occur for RWR systems.)
 #ifndef KDASH_LU_SPARSE_LU_H_
 #define KDASH_LU_SPARSE_LU_H_
 
@@ -25,9 +40,21 @@ struct LuFactors {
   sparse::CscMatrix upper;
 };
 
+struct LuOptions {
+  // Worker threads for the numeric factorization. 0 = DefaultNumThreads()
+  // (KDASH_NUM_THREADS or hardware concurrency) on the shared pool, 1 = the
+  // sequential left-looking path, T > 1 = a dedicated pool of T workers.
+  // An execution knob only: the factors are bit-identical for every value.
+  int num_threads = 0;
+};
+
 // Factors the square matrix `w` as w = lower * upper. Aborts if a pivot is
 // exactly zero (cannot happen for RWR matrices; see header comment).
 LuFactors FactorizeLu(const sparse::CscMatrix& w);
+
+// Level-scheduled parallel factorization; bit-identical to the sequential
+// overload (see header comment for the guarantee and its one caveat).
+LuFactors FactorizeLu(const sparse::CscMatrix& w, const LuOptions& options);
 
 // Builds W = I - (1-c) * A from a normalized adjacency matrix.
 sparse::CscMatrix BuildRwrSystemMatrix(const sparse::CscMatrix& a,

@@ -192,6 +192,130 @@ TEST(BatchSchedulerTest, IdenticalRequestsCoalesceToOneComputation) {
   EXPECT_EQ(backend_queries.load() + stats.coalesced, 20u);
 }
 
+// ---- stress: degenerate deadlines, zero batching windows, shutdown races.
+
+TEST(BatchSchedulerStressTest, AlreadyExpiredDeadlineNeverReachesBackend) {
+  // A deadline of 1ns is expired on arrival for all practical purposes; the
+  // request must resolve kDeadlineExceeded without touching the backend.
+  // The first request holds the scheduler inside a gated backend so the
+  // expired one cannot sneak into an earlier batch.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<std::uint64_t> backend_queries{0};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1;
+  options.max_wait = milliseconds(0);
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        backend_queries += queries.size();
+        gate.wait();
+        return std::vector<SearchResult>(queries.size());
+      },
+      options);
+
+  auto occupant = scheduler.Submit(Query::Single(0, 1));
+  auto expired = scheduler.Submit(Query::Single(1, 1),
+                                  std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(milliseconds(5));
+  release.set_value();
+
+  ASSERT_TRUE(occupant.get().ok());
+  const auto result = expired.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(backend_queries.load(), 1u);  // only the occupant
+  EXPECT_EQ(scheduler.stats().deadline_expired, 1u);
+}
+
+TEST(BatchSchedulerStressTest, MaxWaitZeroDispatchesImmediatelyWithoutHangs) {
+  // max_wait = 0 means "never hold a request for batching": the scheduler
+  // must dispatch whatever is queued the moment it wakes — a busy-spin-free
+  // fast path that is easy to get wrong (a wait_until on an already-passed
+  // time point that is not treated as an immediate timeout would hang).
+  const Engine engine = BuildTestEngine();
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.max_wait = std::chrono::microseconds(0);
+  BatchScheduler scheduler(EngineBackend(engine), options);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> submitters;
+  std::atomic<std::uint64_t> ok_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      std::vector<std::future<Result<SearchResult>>> futures;
+      for (int i = 0; i < kPerThread; ++i) {
+        futures.push_back(scheduler.Submit(
+            Query::Single((t * kPerThread + i) % engine.num_nodes(), 3)));
+      }
+      for (auto& future : futures) {
+        if (future.get().ok()) ++ok_count;
+      }
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.served, kThreads * kPerThread);
+  EXPECT_EQ(stats.deadline_expired, 0u);
+}
+
+TEST(BatchSchedulerStressTest, ShutdownRacingSubmitResolvesEveryFuture) {
+  // Submitters hammer the scheduler while Shutdown lands mid-stream (twice,
+  // concurrently — it is documented idempotent). Every future must resolve
+  // — no hangs — to either a served result or kUnavailable, and the stats
+  // must account for every submission exactly once.
+  const Engine engine = BuildTestEngine();
+  for (int round = 0; round < 4; ++round) {
+    BatchSchedulerOptions options;
+    options.max_batch_size = 8;
+    options.max_wait = milliseconds(1);
+    BatchScheduler scheduler(EngineBackend(engine), options);
+
+    constexpr int kThreads = 6;
+    constexpr int kPerThread = 40;
+    std::atomic<std::uint64_t> ok_count{0};
+    std::atomic<std::uint64_t> unavailable_count{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        std::vector<std::future<Result<SearchResult>>> futures;
+        for (int i = 0; i < kPerThread; ++i) {
+          futures.push_back(scheduler.Submit(
+              Query::Single((t * kPerThread + i) % engine.num_nodes(), 3)));
+        }
+        for (auto& future : futures) {
+          const auto result = future.get();
+          if (result.ok()) {
+            ++ok_count;
+          } else {
+            ASSERT_EQ(result.status().code(), StatusCode::kUnavailable)
+                << result.status();
+            ++unavailable_count;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(milliseconds(round));  // vary the race window
+    std::thread other_shutdown([&] { scheduler.Shutdown(); });
+    scheduler.Shutdown();
+    other_shutdown.join();
+    for (auto& submitter : submitters) submitter.join();
+
+    EXPECT_EQ(ok_count.load() + unavailable_count.load(),
+              kThreads * kPerThread)
+        << "round " << round;
+    const auto stats = scheduler.stats();
+    // Accepted requests are drained and served; rejected ones are counted.
+    EXPECT_EQ(stats.served, ok_count.load()) << "round " << round;
+    EXPECT_EQ(stats.rejected, unavailable_count.load()) << "round " << round;
+    EXPECT_EQ(stats.submitted + stats.rejected, kThreads * kPerThread)
+        << "round " << round;
+    EXPECT_EQ(stats.deadline_expired, 0u) << "round " << round;
+  }
+}
+
 TEST(BatchSchedulerTest, BadRequestDoesNotPoisonItsBatch) {
   const Engine engine = BuildTestEngine();
   BatchSchedulerOptions options;

@@ -1,0 +1,149 @@
+// The acceptance contract of the level-scheduled parallel LU: factoring with
+// any number of threads must produce factors bit-identical — values AND
+// pattern — to the sequential left-looking code. CscMatrix::operator==
+// compares the raw col_ptr / row_idx / values arrays, so EXPECT_EQ here is a
+// bit-level check of both.
+#include "lu/sparse_lu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/dense_matrix.h"
+#include "reorder/reorder.h"
+#include "sparse/permute.h"
+#include "test_util.h"
+
+namespace kdash::lu {
+namespace {
+
+using sparse::CscMatrix;
+
+constexpr int kThreadCounts[] = {1, 2, 3, 8};
+
+// The RWR system matrix exactly as KDashIndex::Build stages it: reorder,
+// symmetric permutation, W = I - (1-c)A.
+CscMatrix ReorderedRwrSystem(const graph::Graph& graph, reorder::Method method,
+                             Scalar restart_prob) {
+  const auto order = reorder::ComputeReordering(graph, method);
+  const auto a_perm =
+      sparse::PermuteSymmetric(graph.NormalizedAdjacency(), order.new_of_old);
+  return BuildRwrSystemMatrix(a_perm, restart_prob);
+}
+
+void ExpectBitIdenticalAcrossThreads(const CscMatrix& w) {
+  const LuFactors sequential = FactorizeLu(w);
+  for (const int threads : kThreadCounts) {
+    const LuFactors parallel = FactorizeLu(w, LuOptions{threads});
+    EXPECT_EQ(parallel.lower, sequential.lower) << "L, threads=" << threads;
+    EXPECT_EQ(parallel.upper, sequential.upper) << "U, threads=" << threads;
+  }
+}
+
+TEST(LuParallelTest, RandomGraphsAcrossReorderModes) {
+  // The paper's three reorder heuristics produce very different elimination
+  // DAGs (hybrid: wide levels; degree: deeper chains) — the schedule must
+  // be exact for all of them.
+  const reorder::Method methods[] = {reorder::Method::kDegree,
+                                     reorder::Method::kCluster,
+                                     reorder::Method::kHybrid};
+  for (const auto& [n, m, seed] :
+       {std::tuple{120, 700, 5}, std::tuple{300, 2600, 6},
+        std::tuple{80, 1200, 7}}) {
+    const auto g = test::RandomDirectedGraph(static_cast<NodeId>(n),
+                                             static_cast<Index>(m),
+                                             static_cast<std::uint64_t>(seed));
+    for (const auto method : methods) {
+      SCOPED_TRACE("n=" + std::to_string(n) +
+                   " method=" + reorder::MethodName(method));
+      ExpectBitIdenticalAcrossThreads(ReorderedRwrSystem(g, method, 0.95));
+    }
+  }
+}
+
+TEST(LuParallelTest, PathGraph) {
+  // A directed path is the worst case for level scheduling: the elimination
+  // DAG degenerates to a chain, so every level has width 1 and the parallel
+  // path must fall through its inline-level branch for every column.
+  constexpr NodeId kNodes = 64;
+  graph::GraphBuilder builder(kNodes);
+  for (NodeId u = 0; u + 1 < kNodes; ++u) builder.AddEdge(u, u + 1);
+  const auto g = std::move(builder).Build();
+  ExpectBitIdenticalAcrossThreads(
+      BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.9));
+  ExpectBitIdenticalAcrossThreads(
+      ReorderedRwrSystem(g, reorder::Method::kDegree, 0.9));
+}
+
+TEST(LuParallelTest, StarGraph) {
+  // A star: one hub column with maximal fan-in/fan-out, all leaf columns in
+  // one wide level.
+  constexpr NodeId kNodes = 101;
+  graph::GraphBuilder builder(kNodes);
+  for (NodeId leaf = 1; leaf < kNodes; ++leaf) {
+    builder.AddUndirectedEdge(0, leaf);
+  }
+  const auto g = std::move(builder).Build();
+  ExpectBitIdenticalAcrossThreads(
+      BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.95));
+  ExpectBitIdenticalAcrossThreads(
+      ReorderedRwrSystem(g, reorder::Method::kHybrid, 0.95));
+}
+
+TEST(LuParallelTest, DisconnectedComponents) {
+  // Two dense blocks plus isolated nodes: independent components share no
+  // dependencies, so whole components land in the same levels.
+  constexpr NodeId kBlock = 20;
+  graph::GraphBuilder builder(2 * kBlock + 3);  // 3 isolated nodes at the end
+  for (NodeId block = 0; block < 2; ++block) {
+    const NodeId base = block * kBlock;
+    for (NodeId i = 0; i < kBlock; ++i) {
+      for (NodeId j = 0; j < kBlock; ++j) {
+        if (i != j && (i + 2 * j + block) % 3 == 0) {
+          builder.AddEdge(base + i, base + j);
+        }
+      }
+    }
+  }
+  const auto g = std::move(builder).Build();
+  ExpectBitIdenticalAcrossThreads(
+      BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.9));
+  ExpectBitIdenticalAcrossThreads(
+      ReorderedRwrSystem(g, reorder::Method::kCluster, 0.9));
+}
+
+TEST(LuParallelTest, SingleNode) {
+  graph::GraphBuilder builder(1);
+  const auto g = std::move(builder).Build();
+  const auto w = BuildRwrSystemMatrix(g.NormalizedAdjacency(), 0.95);
+  ExpectBitIdenticalAcrossThreads(w);
+  const LuFactors factors = FactorizeLu(w, LuOptions{8});
+  EXPECT_EQ(factors.lower.nnz(), 1);
+  EXPECT_EQ(factors.upper.nnz(), 1);
+  EXPECT_DOUBLE_EQ(factors.upper.At(0, 0), 1.0);
+}
+
+TEST(LuParallelTest, SharedPoolDefaultMatchesExplicitThreadCounts) {
+  // num_threads = 0 borrows the process-wide shared pool — still identical.
+  const auto g = test::RandomDirectedGraph(150, 900, 9);
+  const auto w = ReorderedRwrSystem(g, reorder::Method::kHybrid, 0.95);
+  const LuFactors sequential = FactorizeLu(w);
+  const LuFactors shared = FactorizeLu(w, LuOptions{});
+  EXPECT_EQ(shared.lower, sequential.lower);
+  EXPECT_EQ(shared.upper, sequential.upper);
+}
+
+TEST(LuParallelTest, ParallelFactorsReconstructW) {
+  // Not just equality with the sequential code: the 8-thread product L·U
+  // must reproduce W itself.
+  const auto g = test::RandomDirectedGraph(60, 420, 11);
+  const auto w = ReorderedRwrSystem(g, reorder::Method::kHybrid, 0.9);
+  const LuFactors factors = FactorizeLu(w, LuOptions{8});
+  const auto product =
+      linalg::MatMul(test::ToDense(factors.lower), test::ToDense(factors.upper));
+  EXPECT_LT(test::MaxAbsDiff(product, test::ToDense(w)), 1e-12);
+}
+
+}  // namespace
+}  // namespace kdash::lu
