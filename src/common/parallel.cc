@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 
 #include "common/check.h"
 
@@ -142,6 +143,12 @@ ThreadPool& ThreadPool::Shared() {
 void ParallelFor(Index begin, Index end, Index grain,
                  const std::function<void(Index, Index, int)>& fn) {
   ThreadPool::Shared().ParallelFor(begin, end, grain, fn);
+}
+
+ThreadPool& SelectPool(int num_threads, std::unique_ptr<ThreadPool>& local) {
+  if (num_threads <= 0) return ThreadPool::Shared();
+  local = std::make_unique<ThreadPool>(num_threads);
+  return *local;
 }
 
 }  // namespace kdash

@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -95,6 +96,12 @@ class ThreadPool {
 // Convenience: ParallelFor on the shared pool.
 void ParallelFor(Index begin, Index end, Index grain,
                  const std::function<void(Index, Index, int)>& fn);
+
+// The library-wide pool-selection policy for a stage-level `num_threads`
+// knob: <= 0 borrows the process-wide shared pool; any explicit count gets
+// a dedicated pool owned by `local` (a pool of 1 spawns nothing and runs
+// inline). The returned reference is valid as long as `local` lives.
+ThreadPool& SelectPool(int num_threads, std::unique_ptr<ThreadPool>& local);
 
 }  // namespace kdash
 

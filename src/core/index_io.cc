@@ -23,6 +23,10 @@ namespace {
 constexpr char kMagic[4] = {'K', 'D', 'S', 'H'};
 // v2: adds the node-ownership window (owned_begin, owned_end) after the node
 // count, so shard indexes produced by Restrict() persist and reload.
+// v1 (pre-sharding) files carry no window; Load() still reads them, giving
+// the full window [0, num_nodes) — a v1 file is exactly a full index.
+// Save() always writes the current version.
+constexpr std::uint32_t kVersionV1 = 1;
 constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
@@ -219,18 +223,19 @@ Status KDashIndex::Save(std::ostream& out) const {
   WritePod(out, options_.seed);
   WritePod(out, options_.drop_tolerance);
 
+  const SharedState& state = *shared_;
   WritePod(out, num_nodes_);
   WritePod(out, owned_begin_);
   WritePod(out, owned_end_);
-  WritePod(out, amax_);
-  WriteVector(out, amax_of_node_);
-  WriteVector(out, c_prime_of_node_);
-  WriteVector(out, new_of_old_);
-  WriteVector(out, old_of_new_);
-  WriteCsc(out, lower_inverse_);
+  WritePod(out, state.amax);
+  WriteVector(out, state.amax_of_node);
+  WriteVector(out, state.c_prime_of_node);
+  WriteVector(out, state.new_of_old);
+  WriteVector(out, state.old_of_new);
+  WriteCsc(out, state.lower_inverse);
   WriteCsr(out, upper_inverse_);
-  WriteVector(out, adjacency_ptr_);
-  WriteVector(out, adjacency_);
+  WriteVector(out, state.adjacency_ptr);
+  WriteVector(out, state.adjacency);
 
   WritePod(out, stats_);
   out.flush();
@@ -248,10 +253,12 @@ Result<KDashIndex> KDashIndex::Load(std::istream& in) {
   }
   std::uint32_t version = 0;
   KDASH_RETURN_IF_ERROR(reader.Pod(&version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionV1) {
     return Status::FailedPrecondition(
         "index version mismatch: file has version " + std::to_string(version) +
-        ", this build reads version " + std::to_string(kVersion));
+        ", this build reads versions " + std::to_string(kVersionV1) + "-" +
+        std::to_string(kVersion) +
+        " — rebuild the index with this binary (kdash_cli build)");
   }
 
   KDashIndex index;
@@ -279,38 +286,45 @@ Result<KDashIndex> KDashIndex::Load(std::istream& in) {
   if (index.num_nodes_ < 0) {
     return Status::DataLoss("corrupt index stream: negative node count");
   }
-  KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_begin_));
-  KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_end_));
+  if (version >= 2) {
+    KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_begin_));
+    KDASH_RETURN_IF_ERROR(reader.Pod(&index.owned_end_));
+  } else {
+    // v1 predates sharding: every file is a full index.
+    index.owned_begin_ = 0;
+    index.owned_end_ = index.num_nodes_;
+  }
   if (index.owned_begin_ < 0 || index.owned_begin_ > index.owned_end_ ||
       index.owned_end_ > index.num_nodes_) {
     return Status::DataLoss(
         "corrupt index stream: node-ownership window outside [0, n]");
   }
-  KDASH_RETURN_IF_ERROR(reader.Pod(&index.amax_));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.amax_of_node_));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.c_prime_of_node_));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.new_of_old_));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.old_of_new_));
-  KDASH_ASSIGN_OR_RETURN(index.lower_inverse_, ReadCsc(reader));
+  SharedState state;
+  KDASH_RETURN_IF_ERROR(reader.Pod(&state.amax));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.amax_of_node));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.c_prime_of_node));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.new_of_old));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.old_of_new));
+  KDASH_ASSIGN_OR_RETURN(state.lower_inverse, ReadCsc(reader));
   KDASH_ASSIGN_OR_RETURN(index.upper_inverse_, ReadCsr(reader));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.adjacency_ptr_));
-  KDASH_RETURN_IF_ERROR(reader.Vec(&index.adjacency_));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.adjacency_ptr));
+  KDASH_RETURN_IF_ERROR(reader.Vec(&state.adjacency));
 
   KDASH_RETURN_IF_ERROR(reader.Pod(&index.stats_));
 
   // Structural sanity before the index is used for queries.
   const auto n = static_cast<std::size_t>(index.num_nodes_);
-  KDASH_RETURN_IF_ERROR(CheckSize("amax table", index.amax_of_node_.size(), n));
+  KDASH_RETURN_IF_ERROR(CheckSize("amax table", state.amax_of_node.size(), n));
   KDASH_RETURN_IF_ERROR(
-      CheckSize("c' table", index.c_prime_of_node_.size(), n));
+      CheckSize("c' table", state.c_prime_of_node.size(), n));
   KDASH_RETURN_IF_ERROR(
-      CheckSize("permutation", index.new_of_old_.size(), n));
+      CheckSize("permutation", state.new_of_old.size(), n));
   KDASH_RETURN_IF_ERROR(
-      CheckSize("inverse permutation", index.old_of_new_.size(), n));
+      CheckSize("inverse permutation", state.old_of_new.size(), n));
   KDASH_RETURN_IF_ERROR(
-      CheckSize("adjacency pointers", index.adjacency_ptr_.size(), n + 1));
-  if (static_cast<std::size_t>(index.lower_inverse_.rows()) != n ||
-      static_cast<std::size_t>(index.lower_inverse_.cols()) != n ||
+      CheckSize("adjacency pointers", state.adjacency_ptr.size(), n + 1));
+  if (static_cast<std::size_t>(state.lower_inverse.rows()) != n ||
+      static_cast<std::size_t>(state.lower_inverse.cols()) != n ||
       static_cast<std::size_t>(index.upper_inverse_.rows()) != n ||
       static_cast<std::size_t>(index.upper_inverse_.cols()) != n) {
     return Status::DataLoss(
@@ -319,35 +333,36 @@ Result<KDashIndex> KDashIndex::Load(std::istream& in) {
   // The two permutations must be mutually inverse bijections of [0, n) —
   // this also range-checks every entry of both arrays.
   for (std::size_t old_id = 0; old_id < n; ++old_id) {
-    const NodeId mapped = index.new_of_old_[old_id];
+    const NodeId mapped = state.new_of_old[old_id];
     if (mapped < 0 || static_cast<std::size_t>(mapped) >= n ||
-        index.old_of_new_[static_cast<std::size_t>(mapped)] !=
+        state.old_of_new[static_cast<std::size_t>(mapped)] !=
             static_cast<NodeId>(old_id)) {
       return Status::DataLoss(
           "corrupt index stream: node permutations are not mutually "
           "inverse");
     }
   }
-  if (!index.adjacency_ptr_.empty()) {
-    if (index.adjacency_ptr_.front() != 0 ||
-        index.adjacency_ptr_.back() !=
-            static_cast<Index>(index.adjacency_.size())) {
+  if (!state.adjacency_ptr.empty()) {
+    if (state.adjacency_ptr.front() != 0 ||
+        state.adjacency_ptr.back() !=
+            static_cast<Index>(state.adjacency.size())) {
       return Status::DataLoss("corrupt index stream: adjacency pointers "
                               "disagree with edge array");
     }
     for (std::size_t u = 0; u < n; ++u) {
-      if (index.adjacency_ptr_[u] > index.adjacency_ptr_[u + 1]) {
+      if (state.adjacency_ptr[u] > state.adjacency_ptr[u + 1]) {
         return Status::DataLoss(
             "corrupt index stream: non-monotone adjacency pointers");
       }
     }
-    for (const NodeId v : index.adjacency_) {
+    for (const NodeId v : state.adjacency) {
       if (v < 0 || static_cast<std::size_t>(v) >= n) {
         return Status::DataLoss(
             "corrupt index stream: adjacency target out of range");
       }
     }
   }
+  index.shared_ = std::make_shared<const SharedState>(std::move(state));
   return index;
 }
 

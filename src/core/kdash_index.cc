@@ -1,5 +1,6 @@
 #include "core/kdash_index.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/check.h"
@@ -22,27 +23,33 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
   index.owned_end_ = graph.num_nodes();
 
   const WallTimer total_timer;
+  SharedState state;
 
   // Normalized adjacency and the estimator's precomputed values, all in
   // original id space (the estimator never sees the reordering).
   const sparse::CscMatrix a = graph.NormalizedAdjacency();
-  index.amax_ = a.MaxValue();
-  index.amax_of_node_ = a.ColumnMax();
-  index.c_prime_of_node_ = ComputeCPrime(a.Diagonal(), options.restart_prob);
+  state.amax = a.MaxValue();
+  state.amax_of_node = a.ColumnMax();
+  state.c_prime_of_node = ComputeCPrime(a.Diagonal(), options.restart_prob);
 
-  // Step 1: reorder.
+  // Step 1: reorder (phase-synchronous parallel Louvain for cluster/hybrid;
+  // num_threads drives it exactly like the LU and inverse stages).
   WallTimer phase_timer;
-  const reorder::Reordering reordering =
-      reorder::ComputeReordering(graph, options.reorder_method, options.seed);
-  index.new_of_old_ = reordering.new_of_old;
-  index.old_of_new_ = reordering.old_of_new;
+  reorder::ReorderOptions reorder_options;
+  reorder_options.seed = options.seed;
+  reorder_options.num_threads = options.num_threads;
+  reorder::Reordering reordering = reorder::ComputeReordering(
+      graph, options.reorder_method, reorder_options);
+  state.new_of_old = std::move(reordering.new_of_old);
+  state.old_of_new = std::move(reordering.old_of_new);
   index.stats_.num_partitions = reordering.num_partitions;
   index.stats_.reorder_seconds = phase_timer.Seconds();
 
-  // Step 2 + 3: W = I - (1-c)·PAPᵀ, then W = LU (level-scheduled parallel).
+  // Step 2 + 3: W = I - (1-c)·PAPᵀ, then W = LU (level-scheduled parallel
+  // numeric pass overlapped with the symbolic analysis).
   phase_timer.Restart();
   const sparse::CscMatrix a_perm =
-      sparse::PermuteSymmetric(a, index.new_of_old_);
+      sparse::PermuteSymmetric(a, state.new_of_old);
   const sparse::CscMatrix w =
       lu::BuildRwrSystemMatrix(a_perm, options.restart_prob);
   lu::LuFactors factors =
@@ -53,26 +60,27 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
 
   // Step 4: explicit sparse inverses (parallel across column blocks).
   phase_timer.Restart();
-  index.lower_inverse_ = lu::InvertLowerTriangular(
+  state.lower_inverse = lu::InvertLowerTriangular(
       factors.lower, options.drop_tolerance, options.num_threads);
   const sparse::CscMatrix upper_inverse_csc = lu::InvertUpperTriangular(
       factors.upper, options.drop_tolerance, options.num_threads);
   index.upper_inverse_ = upper_inverse_csc.ToCsr();
   index.stats_.inverse_seconds = phase_timer.Seconds();
-  index.stats_.nnz_lower_inverse = index.lower_inverse_.nnz();
+  index.stats_.nnz_lower_inverse = state.lower_inverse.nnz();
   index.stats_.nnz_upper_inverse = index.upper_inverse_.nnz();
 
   // Step 5: compact out-adjacency for the per-query BFS.
-  index.adjacency_ptr_.assign(static_cast<std::size_t>(graph.num_nodes()) + 1, 0);
-  index.adjacency_.reserve(static_cast<std::size_t>(graph.num_edges()));
+  state.adjacency_ptr.assign(static_cast<std::size_t>(graph.num_nodes()) + 1, 0);
+  state.adjacency.reserve(static_cast<std::size_t>(graph.num_edges()));
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
-      index.adjacency_.push_back(nb.node);
+      state.adjacency.push_back(nb.node);
     }
-    index.adjacency_ptr_[static_cast<std::size_t>(u) + 1] =
-        static_cast<Index>(index.adjacency_.size());
+    state.adjacency_ptr[static_cast<std::size_t>(u) + 1] =
+        static_cast<Index>(state.adjacency.size());
   }
 
+  index.shared_ = std::make_shared<const SharedState>(std::move(state));
   index.stats_.total_seconds = total_timer.Seconds();
   return index;
 }
@@ -89,14 +97,10 @@ KDashIndex KDashIndex::Restrict(NodeId begin, NodeId end) const {
   shard.owned_begin_ = begin;
   shard.owned_end_ = end;
 
-  shard.amax_ = amax_;
-  shard.amax_of_node_ = amax_of_node_;
-  shard.c_prime_of_node_ = c_prime_of_node_;
-  shard.new_of_old_ = new_of_old_;
-  shard.old_of_new_ = old_of_new_;
-  shard.lower_inverse_ = lower_inverse_;
-  shard.adjacency_ptr_ = adjacency_ptr_;
-  shard.adjacency_ = adjacency_;
+  // The non-U⁻¹ machinery is immutable and shared, not copied: P shards of
+  // one index cost one L⁻¹/adjacency/estimator allocation plus P U⁻¹
+  // slices.
+  shard.shared_ = shared_;
 
   // Keep only the U⁻¹ rows of owned nodes. Ownership is an original-id
   // window but U⁻¹ lives in reordered space, so the kept rows are scattered:
@@ -104,10 +108,11 @@ KDashIndex KDashIndex::Restrict(NodeId begin, NodeId end) const {
   // verbatim (same values, same order), so shard proximities are
   // bit-identical to the full index's.
   const NodeId n = num_nodes_;
+  const std::vector<NodeId>& old_of_new = shared_->old_of_new;
   std::vector<Index> row_ptr(static_cast<std::size_t>(n) + 1, 0);
   Index kept_nnz = 0;
   for (NodeId row = 0; row < n; ++row) {
-    const NodeId old_id = old_of_new_[static_cast<std::size_t>(row)];
+    const NodeId old_id = old_of_new[static_cast<std::size_t>(row)];
     if (old_id >= begin && old_id < end) {
       kept_nnz += upper_inverse_.RowNnz(row);
     }
@@ -118,7 +123,7 @@ KDashIndex KDashIndex::Restrict(NodeId begin, NodeId end) const {
   col_idx.reserve(static_cast<std::size_t>(kept_nnz));
   values.reserve(static_cast<std::size_t>(kept_nnz));
   for (NodeId row = 0; row < n; ++row) {
-    const NodeId old_id = old_of_new_[static_cast<std::size_t>(row)];
+    const NodeId old_id = old_of_new[static_cast<std::size_t>(row)];
     if (old_id < begin || old_id >= end) continue;
     for (Index k = upper_inverse_.RowBegin(row); k < upper_inverse_.RowEnd(row);
          ++k) {

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,11 +38,12 @@ struct KDashOptions {
   // Nonzero values trade a bounded proximity error for sparser inverses;
   // used only by the ablation benchmark.
   Scalar drop_tolerance = 0.0;
-  // Worker threads for the precompute's parallel stages (the level-scheduled
-  // LU factorization and the explicit triangular inverses). 0 =
-  // KDASH_NUM_THREADS or hardware concurrency. An execution knob, not index
-  // state: it does not affect the built index (both parallel stages are
-  // bit-identical to their sequential counterparts) and is not serialized by
+  // Worker threads for the precompute's parallel stages: the
+  // phase-synchronous Louvain reordering, the pipelined (symbolic-overlapped)
+  // level-scheduled LU factorization, and the explicit triangular inverses.
+  // 0 = KDASH_NUM_THREADS or hardware concurrency. An execution knob, not
+  // index state: it does not affect the built index (every parallel stage is
+  // bit-identical to its sequential counterpart) and is not serialized by
   // Save/Load.
   int num_threads = 0;
 };
@@ -91,9 +93,13 @@ class KDashIndex {
   // the full adjacency and estimator tables (the per-query BFS and bounds
   // span the whole graph), but drops every U⁻¹ row outside the window —
   // the rows are the per-node payload that dominates the footprint, so a
-  // P-way sharding splits the U⁻¹ storage P ways. Searches on a shard
-  // return the exact top-k among owned nodes with bit-identical scores to
-  // the full index (see serving::ShardedEngine for the merge).
+  // P-way sharding splits the U⁻¹ storage P ways. The kept state is not
+  // copied: every index holds its immutable non-U⁻¹ machinery behind a
+  // shared_ptr, so P in-process shards of one index share a single L⁻¹ /
+  // adjacency / estimator allocation (replication only happens across
+  // saved shard files, i.e. across processes). Searches on a shard return
+  // the exact top-k among owned nodes with bit-identical scores to the
+  // full index (see serving::ShardedEngine for the merge).
   KDashIndex Restrict(NodeId begin, NodeId end) const;
 
   NodeId owned_begin() const { return owned_begin_; }
@@ -104,26 +110,52 @@ class KDashIndex {
   bool OwnsNode(NodeId u) const { return u >= owned_begin_ && u < owned_end_; }
 
   // Estimator inputs (original node-id space).
-  Scalar amax() const { return amax_; }
-  const std::vector<Scalar>& amax_of_node() const { return amax_of_node_; }
-  const std::vector<Scalar>& c_prime_of_node() const { return c_prime_of_node_; }
+  Scalar amax() const { return shared_->amax; }
+  const std::vector<Scalar>& amax_of_node() const {
+    return shared_->amax_of_node;
+  }
+  const std::vector<Scalar>& c_prime_of_node() const {
+    return shared_->c_prime_of_node;
+  }
 
   // Permutations between original and reordered space.
-  const std::vector<NodeId>& new_of_old() const { return new_of_old_; }
-  const std::vector<NodeId>& old_of_new() const { return old_of_new_; }
+  const std::vector<NodeId>& new_of_old() const { return shared_->new_of_old; }
+  const std::vector<NodeId>& old_of_new() const { return shared_->old_of_new; }
 
   // Inverse factors in the reordered space.
-  const sparse::CscMatrix& lower_inverse() const { return lower_inverse_; }
+  const sparse::CscMatrix& lower_inverse() const {
+    return shared_->lower_inverse;
+  }
   const sparse::CsrMatrix& upper_inverse() const { return upper_inverse_; }
 
   // Out-neighbors of `u` (original ids, no weights) for the BFS tree.
   std::span<const NodeId> OutNeighbors(NodeId u) const {
-    return {adjacency_.data() + adjacency_ptr_[static_cast<std::size_t>(u)],
-            adjacency_.data() + adjacency_ptr_[static_cast<std::size_t>(u) + 1]};
+    const SharedState& s = *shared_;
+    return {s.adjacency.data() + s.adjacency_ptr[static_cast<std::size_t>(u)],
+            s.adjacency.data() +
+                s.adjacency_ptr[static_cast<std::size_t>(u) + 1]};
   }
 
  private:
   KDashIndex() = default;
+
+  // The immutable per-query machinery every shard of an index needs in
+  // full: estimator tables, permutations, L⁻¹, and the BFS adjacency.
+  // Restrict() aliases this block instead of copying it, so in-process
+  // shards add only their U⁻¹ slice to the footprint.
+  struct SharedState {
+    Scalar amax = 0.0;
+    std::vector<Scalar> amax_of_node;
+    std::vector<Scalar> c_prime_of_node;
+
+    std::vector<NodeId> new_of_old;
+    std::vector<NodeId> old_of_new;
+
+    sparse::CscMatrix lower_inverse;
+
+    std::vector<Index> adjacency_ptr;
+    std::vector<NodeId> adjacency;
+  };
 
   KDashOptions options_;
   NodeId num_nodes_ = 0;
@@ -133,18 +165,10 @@ class KDashIndex {
   NodeId owned_begin_ = 0;
   NodeId owned_end_ = 0;  // == num_nodes_ for a full index
 
-  Scalar amax_ = 0.0;
-  std::vector<Scalar> amax_of_node_;
-  std::vector<Scalar> c_prime_of_node_;
+  std::shared_ptr<const SharedState> shared_;
 
-  std::vector<NodeId> new_of_old_;
-  std::vector<NodeId> old_of_new_;
-
-  sparse::CscMatrix lower_inverse_;
+  // The per-shard payload (rows of owned nodes only on a shard).
   sparse::CsrMatrix upper_inverse_;
-
-  std::vector<Index> adjacency_ptr_;
-  std::vector<NodeId> adjacency_;
 };
 
 }  // namespace kdash::core

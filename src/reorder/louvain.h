@@ -10,6 +10,25 @@
 // Directed input graphs are symmetrized (edge weights summed per direction)
 // before partitioning; only the partition labels feed back into K-dash, so
 // this does not affect exactness.
+//
+// Two local-moving algorithms are provided:
+//
+//   kPhaseSynchronous (default) — Grappolo-style parallel local moving
+//   (Lu, Halappanavar & Kalyanaraman, "Parallel heuristics for scalable
+//   community detection"): each sweep computes every node's best move
+//   against a frozen snapshot of the community assignment concurrently
+//   (smaller-label tie-break), then walks the proposals in ascending
+//   node-id order, re-evaluating each one exactly against the evolving
+//   labels — the sequential acceptance rule, restricted to the
+//   snapshot-chosen candidate — so every applied move strictly increases
+//   modularity and batched application cannot oscillate. A sweep-over-sweep
+//   modularity monitor terminates the phase. Every per-node proposal is a
+//   pure function of the snapshot and every reduction runs in a fixed
+//   order, so the partition is bit-identical at every thread count.
+//
+//   kLegacySequential — the original asynchronous sequential algorithm
+//   (seeded random visit order, moves visible immediately). Kept as the
+//   quality baseline for tests and ablations; not parallelizable.
 #ifndef KDASH_REORDER_LOUVAIN_H_
 #define KDASH_REORDER_LOUVAIN_H_
 
@@ -19,16 +38,32 @@
 #include "common/types.h"
 #include "graph/graph.h"
 
+namespace kdash {
+class ThreadPool;
+}  // namespace kdash
+
 namespace kdash::reorder {
 
 struct LouvainOptions {
+  enum class Algorithm {
+    kPhaseSynchronous,   // deterministic parallel local moving (default)
+    kLegacySequential,   // original asynchronous algorithm (quality baseline)
+  };
+
   // Stop a local-moving sweep phase once the modularity gain of a full pass
   // drops below this threshold.
   double min_modularity_gain = 1e-7;
   // Safety cap on aggregation levels (Louvain converges in far fewer).
   int max_levels = 32;
-  // Seed for the node visiting order in the local-moving phase.
+  // Seed for the node visiting order of kLegacySequential. The
+  // phase-synchronous algorithm is seed-free (fixed node-id order).
   std::uint64_t seed = 42;
+  // Worker threads for kPhaseSynchronous: 0 = the process-wide shared pool
+  // (KDASH_NUM_THREADS or hardware concurrency), 1 = inline on the caller,
+  // T > 1 = a dedicated pool. An execution knob only: the partition is
+  // bit-identical for every value.
+  int num_threads = 0;
+  Algorithm algorithm = Algorithm::kPhaseSynchronous;
 };
 
 struct LouvainResult {
@@ -42,6 +77,16 @@ struct LouvainResult {
 
 LouvainResult RunLouvain(const graph::Graph& graph,
                          const LouvainOptions& options = {});
+
+// Same, on a caller-provided pool (options.num_threads is ignored). Lets a
+// caller that already sized a pool for the surrounding stage — e.g. the
+// cluster/hybrid reorderings — reuse it instead of paying a second pool
+// spawn/teardown. The pool is an execution knob only: the partition is
+// bit-identical for every pool size, including for kLegacySequential
+// (whose local moving is sequential regardless; its symmetrize/aggregate
+// stages are order-canonicalized like the parallel path's).
+LouvainResult RunLouvain(const graph::Graph& graph,
+                         const LouvainOptions& options, ThreadPool& pool);
 
 // Newman modularity Q of an arbitrary node→community labeling on the
 // symmetrized weighted graph. Exposed for tests and diagnostics.

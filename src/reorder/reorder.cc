@@ -1,9 +1,11 @@
 #include "reorder/reorder.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/random.h"
 #include "reorder/louvain.h"
 #include "sparse/permute.h"
@@ -86,34 +88,46 @@ std::vector<NodeId> ReverseCuthillMcKeeOrder(const graph::Graph& graph) {
 // edge is re-homed to the border partition κ+1; nodes are then laid out
 // partition by partition with the border last, giving the doubly-bordered
 // block diagonal shape of Figure 1-(2).
-Reordering ClusterImpl(const graph::Graph& graph, std::uint64_t seed,
+Reordering ClusterImpl(const graph::Graph& graph, const ReorderOptions& options,
                        bool degree_sort_within) {
-  LouvainOptions options;
-  options.seed = seed;
-  const LouvainResult louvain = RunLouvain(graph, options);
+  // One pool for the whole reordering: Louvain, border detection, and the
+  // hybrid per-partition sorts (an explicit thread count would otherwise
+  // pay two pool spawn/teardown cycles per call).
+  std::unique_ptr<ThreadPool> local_pool;
+  ThreadPool& pool = SelectPool(options.num_threads, local_pool);
+
+  LouvainOptions louvain_options;
+  louvain_options.seed = options.seed;
+  const LouvainResult louvain = RunLouvain(graph, louvain_options, pool);
   const NodeId kappa = louvain.num_communities;
   const NodeId border = kappa;  // label κ used for the (κ+1)-th partition
 
+  // Border detection is per-node independent, so it parallelizes with no
+  // effect on the result.
   std::vector<NodeId> partition = louvain.community_of_node;
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    const NodeId pu = louvain.community_of_node[static_cast<std::size_t>(u)];
-    bool crosses = false;
-    for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
-      if (louvain.community_of_node[static_cast<std::size_t>(nb.node)] != pu) {
-        crosses = true;
-        break;
-      }
-    }
-    if (!crosses) {
-      for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+  pool.ParallelFor(0, graph.num_nodes(), /*grain=*/256, [&](Index begin,
+                                                            Index end, int) {
+    for (Index ui = begin; ui < end; ++ui) {
+      const NodeId u = static_cast<NodeId>(ui);
+      const NodeId pu = louvain.community_of_node[static_cast<std::size_t>(u)];
+      bool crosses = false;
+      for (const graph::Neighbor& nb : graph.OutNeighbors(u)) {
         if (louvain.community_of_node[static_cast<std::size_t>(nb.node)] != pu) {
           crosses = true;
           break;
         }
       }
+      if (!crosses) {
+        for (const graph::Neighbor& nb : graph.InNeighbors(u)) {
+          if (louvain.community_of_node[static_cast<std::size_t>(nb.node)] != pu) {
+            crosses = true;
+            break;
+          }
+        }
+      }
+      if (crosses) partition[static_cast<std::size_t>(u)] = border;
     }
-    if (crosses) partition[static_cast<std::size_t>(u)] = border;
-  }
+  });
 
   // Bucket nodes by partition, preserving id order within each bucket.
   std::vector<std::vector<NodeId>> buckets(static_cast<std::size_t>(kappa) + 1);
@@ -123,12 +137,18 @@ Reordering ClusterImpl(const graph::Graph& graph, std::uint64_t seed,
   }
   if (degree_sort_within) {
     // Algorithm 3 (hybrid): ascending degree inside every partition,
-    // including the border.
-    for (auto& bucket : buckets) {
-      std::stable_sort(bucket.begin(), bucket.end(), [&](NodeId a, NodeId b) {
-        return graph.Degree(a) < graph.Degree(b);
-      });
-    }
+    // including the border. One independent stable sort per bucket.
+    pool.ParallelFor(
+        0, static_cast<Index>(buckets.size()), /*grain=*/1,
+        [&](Index begin, Index end, int) {
+          for (Index b = begin; b < end; ++b) {
+            auto& bucket = buckets[static_cast<std::size_t>(b)];
+            std::stable_sort(bucket.begin(), bucket.end(),
+                             [&](NodeId a, NodeId c) {
+                               return graph.Degree(a) < graph.Degree(c);
+                             });
+          }
+        });
   }
 
   std::vector<NodeId> old_of_new;
@@ -158,7 +178,7 @@ std::string MethodName(Method method) {
 }
 
 Reordering ComputeReordering(const graph::Graph& graph, Method method,
-                             std::uint64_t seed) {
+                             const ReorderOptions& options) {
   const NodeId n = graph.num_nodes();
   switch (method) {
     case Method::kIdentity: {
@@ -169,21 +189,28 @@ Reordering ComputeReordering(const graph::Graph& graph, Method method,
     case Method::kRandom: {
       std::vector<NodeId> order(static_cast<std::size_t>(n));
       std::iota(order.begin(), order.end(), 0);
-      Rng rng(seed);
+      Rng rng(options.seed);
       rng.Shuffle(order);
       return FromOldOfNew(std::move(order));
     }
     case Method::kDegree:
       return FromOldOfNew(AscendingDegreeOrder(graph));
     case Method::kCluster:
-      return ClusterImpl(graph, seed, /*degree_sort_within=*/false);
+      return ClusterImpl(graph, options, /*degree_sort_within=*/false);
     case Method::kHybrid:
-      return ClusterImpl(graph, seed, /*degree_sort_within=*/true);
+      return ClusterImpl(graph, options, /*degree_sort_within=*/true);
     case Method::kRcm:
       return FromOldOfNew(ReverseCuthillMcKeeOrder(graph));
   }
   KDASH_CHECK(false) << "unreachable";
   return {};
+}
+
+Reordering ComputeReordering(const graph::Graph& graph, Method method,
+                             std::uint64_t seed) {
+  ReorderOptions options;
+  options.seed = seed;
+  return ComputeReordering(graph, method, options);
 }
 
 }  // namespace kdash::reorder

@@ -42,8 +42,23 @@ struct Reordering {
   NodeId num_partitions = 0;  // κ (border partition not counted)
 };
 
-// Computes the ordering. `seed` feeds the random order and Louvain's node
-// visiting order; all methods are deterministic given the seed.
+struct ReorderOptions {
+  // Feeds the kRandom shuffle (and the legacy Louvain visit order, when a
+  // caller opts into reorder::LouvainOptions::Algorithm::kLegacySequential
+  // directly). All methods are deterministic given the seed.
+  std::uint64_t seed = 42;
+  // Worker threads for the parallel stages (phase-synchronous Louvain,
+  // border detection, per-partition sorting). 0 = KDASH_NUM_THREADS or
+  // hardware concurrency; 1 = fully inline. An execution knob only: every
+  // method returns the identical permutation at every thread count.
+  int num_threads = 0;
+};
+
+// Computes the ordering.
+Reordering ComputeReordering(const graph::Graph& graph, Method method,
+                             const ReorderOptions& options);
+
+// Back-compat convenience: seed-only, process-default threads.
 Reordering ComputeReordering(const graph::Graph& graph, Method method,
                              std::uint64_t seed = 42);
 

@@ -16,11 +16,14 @@
 // What sharding buys: each shard's U⁻¹ storage is ~1/P of the full index,
 // so P hosts (or P mmap'd files) can serve a graph whose full inverse does
 // not fit one precompute, and per-shard query work shrinks with the shard.
-// What it costs: the shared machinery (L⁻¹, adjacency, estimator tables) is
-// replicated per shard, and per-shard pruning thresholds are local — looser
-// than the global θ — so the summed work across shards exceeds one
-// unsharded query. Sharding is a scale-out tool, not a latency optimization
-// on one small host.
+// What it costs: within one process the shared machinery (L⁻¹, adjacency,
+// estimator tables) exists exactly once — KDashIndex::Restrict aliases it
+// behind a shared_ptr rather than copying — but every *saved shard file*
+// carries a full copy of it, so P shard processes on P hosts replicate it P
+// ways. Per-shard pruning thresholds are also local — looser than the
+// global θ — so the summed work across shards exceeds one unsharded query.
+// Sharding is a scale-out tool, not a latency optimization on one small
+// host.
 #ifndef KDASH_SERVING_SHARDED_ENGINE_H_
 #define KDASH_SERVING_SHARDED_ENGINE_H_
 
@@ -54,9 +57,12 @@ class ShardedEngine {
  public:
   // Precompute once over the full graph, then split the index into
   // `options.num_shards` restricted shard engines (restriction runs on the
-  // thread pool, one task per shard). Peak build memory is the full index —
-  // the memory win applies to serving a saved sharded directory, where each
-  // process opens only its shard files.
+  // thread pool, one task per shard). The shards alias the full index's
+  // immutable non-U⁻¹ state instead of copying it, so an in-process build's
+  // footprint is one full index plus the per-shard U⁻¹ slices (≈ 2× the
+  // U⁻¹ payload at peak, while the full index is still alive). The
+  // per-process U⁻¹ memory win applies to serving a saved sharded
+  // directory, where each process opens only its shard files.
   static Result<ShardedEngine> Build(const graph::Graph& graph,
                                      const ShardedEngineOptions& options = {});
 

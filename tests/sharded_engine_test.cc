@@ -146,6 +146,27 @@ TEST(ShardedEngineTest, ShardsOwnDisjointCoveringRangesAndSplitStorage) {
   EXPECT_EQ(sharded_nnz, full_nnz);
 }
 
+TEST(ShardedEngineTest, InProcessShardsShareTheImmutableState) {
+  // Restrict() must alias the non-U⁻¹ machinery, not copy it: every shard
+  // of one build returns the very same L⁻¹ / permutation / estimator
+  // storage (the per-shard cost is the U⁻¹ slice alone).
+  const auto g = test::RandomDirectedGraph(90, 500, 19);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto sharded = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+
+  const auto& first = sharded->shard(0).index();
+  for (int s = 1; s < sharded->num_shards(); ++s) {
+    const auto& index = sharded->shard(s).index();
+    EXPECT_EQ(&index.lower_inverse(), &first.lower_inverse()) << "shard " << s;
+    EXPECT_EQ(&index.new_of_old(), &first.new_of_old()) << "shard " << s;
+    EXPECT_EQ(&index.amax_of_node(), &first.amax_of_node()) << "shard " << s;
+    // The payload is per-shard.
+    EXPECT_NE(&index.upper_inverse(), &first.upper_inverse()) << "shard " << s;
+  }
+}
+
 TEST(ShardedEngineTest, SaveOpenRoundTripStaysBitIdentical) {
   const auto g = test::RandomDirectedGraph(90, 500, 19);
   auto single = Engine::Build(g);

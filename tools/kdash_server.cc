@@ -33,10 +33,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <algorithm>
 #include <deque>
 #include <filesystem>
 #include <future>
 #include <iostream>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -229,36 +231,95 @@ int ServeTcp(serving::BatchScheduler& scheduler, const ServerConfig& config) {
   std::signal(SIGTERM, StopListening);
   std::fprintf(stderr, "kdash_server listening on 127.0.0.1:%d\n", config.port);
 
-  // Connection threads are detached and counted, not collected: a
-  // long-lived server must not hold one zombie thread stack per finished
-  // connection. Shutdown drains by waiting for the count to hit zero.
-  std::mutex active_mutex;
-  std::condition_variable active_cv;
-  int active_connections = 0;
+  // Connection threads are joinable while running and tracked in a shared
+  // registry. A worker that finishes in steady state detaches and erases
+  // itself under the registry lock (so a burst of short connections leaves
+  // no exited-but-unjoined stacks behind); once the drain flips `draining`,
+  // workers instead mark themselves done and wait to be joined — shutdown
+  // must be able to wait for every worker while the scheduler and config on
+  // this stack frame are still alive (a detached worker touching them — or
+  // signalling a stack-local condition variable — after ServeTcp returns is
+  // a use-after-free). The open-fd registry lets the drain half-close idle
+  // connections whose readers are parked in recv() — previously those hung
+  // the drain forever.
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex conn_mutex;  // guards open_fds, connections, draining
+  std::vector<int> open_fds;
+  std::list<Connection> connections;
+  bool draining = false;
+
   for (;;) {
     const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
     if (conn_fd < 0) break;  // listener closed by signal
-    {
-      std::lock_guard<std::mutex> lock(active_mutex);
-      ++active_connections;
-    }
-    std::thread([conn_fd, &scheduler, &config, &active_mutex, &active_cv,
-                 &active_connections] {
+    // Bound every send: a client that stops reading its responses would
+    // otherwise park the worker in a blocking send() forever — surviving
+    // the SHUT_RD drain below (which only wakes readers) and pinning its
+    // pipeline window in steady state. After the timeout SendAll fails,
+    // the stream winds down, and the worker exits.
+    const timeval send_timeout{/*tv_sec=*/10, /*tv_usec=*/0};
+    ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    open_fds.push_back(conn_fd);
+    connections.emplace_back();
+    const auto self = std::prev(connections.end());  // list iterator: stable
+    self->thread = std::thread([conn_fd, self, &scheduler, &config,
+                                &conn_mutex, &open_fds, &connections,
+                                &draining] {
       SocketStreamBuf buf(conn_fd);
       std::istream in(&buf);
       PumpStream(in, [conn_fd](const std::string& record) {
         return SendAll(conn_fd, record);
       }, scheduler, config);
+      // Deregister and close under the registry lock so the drain sweep
+      // can never shutdown() a recycled descriptor.
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      open_fds.erase(std::remove(open_fds.begin(), open_fds.end(), conn_fd),
+                     open_fds.end());
       ::close(conn_fd);
-      {
-        std::lock_guard<std::mutex> lock(active_mutex);
-        --active_connections;
+      if (draining) {
+        // The drain owns this node now and will join the thread.
+        self->done.store(true, std::memory_order_release);
+      } else {
+        // Steady state: reclaim this stack immediately.
+        self->thread.detach();
+        connections.erase(self);
       }
-      active_cv.notify_all();
-    }).detach();
+    });
   }
-  std::unique_lock<std::mutex> lock(active_mutex);
-  active_cv.wait(lock, [&] { return active_connections == 0; });
+
+  // Drain in two phases. Phase 1: half-close every live connection
+  // (SHUT_RD only — responses still in flight may finish writing), which
+  // wakes readers blocked in recv() with EOF; PumpStream then resolves its
+  // in-flight requests and returns. Phase 2: any worker still alive after
+  // the grace period is stuck writing to a client that is not reading
+  // (SO_SNDTIMEO only bounds a single zero-progress send, so a client
+  // draining a byte every few seconds would stall forever) — full-close its
+  // socket, which fails the pending send and unwinds the stream. Only then
+  // are the joins below guaranteed to terminate.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    // From here on workers stop self-erasing, so `connections` is stable
+    // and every remaining worker is ours to join.
+    draining = true;
+    for (const int fd : open_fds) ::shutdown(fd, SHUT_RD);
+  }
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (Connection& conn : connections) {
+    while (!conn.done.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex);
+    for (const int fd : open_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (Connection& conn : connections) conn.thread.join();
   return 0;
 }
 

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the repo's machine-readable bench output.
+
+Two record formats are understood:
+
+  scaling  one JSON line emitted by bench_parallel_scaling (bench_util's
+           {"bench":"parallel_scaling","records":[...]} shape). The gated
+           metric is reorder_seconds at the highest thread count present in
+           both runs — the stage this repo just parallelized and the one
+           most likely to silently regress back to a sequential wall. The
+           other stage timings are reported informationally.
+
+  micro    google-benchmark JSON (--benchmark_format=json) from
+           bench_micro_kernels. Every benchmark whose name matches --filter
+           and exists in both runs is gated on real_time; the default
+           filter pins the single-thread query-latency benchmarks, which
+           must never pay for precompute-side parallelism.
+
+A missing baseline passes with a note (first run / expired artifact); a
+missing or malformed current file fails — the gate must not silently
+approve a build whose bench crashed.
+
+Exit codes: 0 pass, 1 regression, 2 usage/input error.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def read_lines_json(path, bench_name):
+    """Finds the bench_util record line for `bench_name` in a log/JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if '"bench"' not in line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict) and record.get("bench") == bench_name:
+                return record
+    raise ValueError(f"no \"{bench_name}\" record line in {path}")
+
+
+def gate_scaling(args):
+    try:
+        current = read_lines_json(args.current, "parallel_scaling")
+    except (OSError, ValueError) as error:
+        print(f"perf-gate: cannot read current scaling record: {error}")
+        return 2
+    try:
+        baseline = read_lines_json(args.baseline, "parallel_scaling")
+    except OSError:
+        print(f"perf-gate: no baseline at {args.baseline} — first run, passing")
+        return 0
+    except ValueError as error:
+        print(f"perf-gate: baseline unreadable ({error}) — passing")
+        return 0
+
+    by_threads_base = {r["threads"]: r for r in baseline.get("records", [])
+                       if "threads" in r}
+    by_threads_cur = {r["threads"]: r for r in current.get("records", [])
+                      if "threads" in r}
+    if not by_threads_cur:
+        # The current run measured nothing: never approve it.
+        print("perf-gate: current scaling run has no thread records — failing")
+        return 2
+    common = sorted(set(by_threads_base) & set(by_threads_cur))
+    if not common:
+        # Baseline drift (format change): equivalent to a first run; the
+        # next main-branch run refreshes the baseline.
+        print("perf-gate: no common thread counts with the baseline — passing")
+        return 0
+
+    threads = common[-1]
+    base = by_threads_base[threads]
+    cur = by_threads_cur[threads]
+
+    failed = False
+    for key, gated in [
+        ("reorder_seconds", True),
+        ("lu_seconds", False),
+        ("lower_inverse_seconds", False),
+        ("upper_inverse_seconds", False),
+    ]:
+        if key not in base or key not in cur:
+            continue
+        old, new = float(base[key]), float(cur[key])
+        if old <= 0:
+            continue
+        ratio = new / old
+        verdict = "OK"
+        if gated and ratio > 1.0 + args.max_regress:
+            verdict = f"REGRESSION (> {args.max_regress:.0%})"
+            failed = True
+        marker = "gated" if gated else "info"
+        print(f"perf-gate[{marker}] t={threads} {key}: {old:.6g}s -> "
+              f"{new:.6g}s ({ratio:.3f}x) {verdict}")
+
+    return 1 if failed else 0
+
+
+def gate_micro(args):
+    try:
+        with open(args.current, "r", encoding="utf-8") as handle:
+            current = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"perf-gate: cannot read current micro-bench JSON: {error}")
+        return 2
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except OSError:
+        print(f"perf-gate: no baseline at {args.baseline} — first run, passing")
+        return 0
+    except ValueError as error:
+        print(f"perf-gate: baseline unreadable ({error}) — passing")
+        return 0
+
+    name_filter = re.compile(args.filter)
+
+    def usable(bench):
+        return (name_filter.search(bench.get("name", "")) and
+                "real_time" in bench and not bench.get("error_occurred"))
+
+    base_by_name = {b["name"]: b
+                    for b in baseline.get("benchmarks", []) if usable(b)}
+    current_matching = [b for b in current.get("benchmarks", []) if usable(b)]
+    if not current_matching:
+        # The current run measured none of the gated kernels (bench crashed,
+        # filter drifted, benchmarks errored): never approve it.
+        print(f"perf-gate: current run has no usable benchmarks matching "
+              f"'{args.filter}' — failing")
+        return 2
+
+    failed = False
+    compared = 0
+    for bench in current_matching:
+        name = bench["name"]
+        if name not in base_by_name:
+            continue
+        old = float(base_by_name[name]["real_time"])
+        new = float(bench["real_time"])
+        if old <= 0:
+            continue
+        compared += 1
+        ratio = new / old
+        verdict = "OK"
+        if ratio > 1.0 + args.max_regress:
+            verdict = f"REGRESSION (> {args.max_regress:.0%})"
+            failed = True
+        unit = bench.get("time_unit", "ns")
+        print(f"perf-gate[gated] {name}: {old:.6g}{unit} -> {new:.6g}{unit} "
+              f"({ratio:.3f}x) {verdict}")
+    if compared == 0:
+        # Baseline lacks the current names (rename/drift): first-run
+        # semantics; the next main-branch run refreshes the baseline.
+        print("perf-gate: baseline shares no benchmark names with the "
+              "current run — passing")
+    return 1 if failed else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    scaling = sub.add_parser("scaling", help="gate bench_parallel_scaling JSON")
+    scaling.add_argument("--baseline", required=True)
+    scaling.add_argument("--current", required=True)
+    scaling.add_argument("--max-regress", type=float, default=0.10)
+    scaling.set_defaults(func=gate_scaling)
+
+    micro = sub.add_parser("micro", help="gate google-benchmark JSON")
+    micro.add_argument("--baseline", required=True)
+    micro.add_argument("--current", required=True)
+    micro.add_argument("--max-regress", type=float, default=0.10)
+    micro.add_argument("--filter", default=r"BM_KDashQuery|BM_ProximityRowDot")
+    micro.set_defaults(func=gate_micro)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
