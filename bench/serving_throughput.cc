@@ -173,6 +173,9 @@ int Main() {
   serving::BatchSchedulerOptions scheduler_options;
   scheduler_options.max_batch_size = 256;
   scheduler_options.max_wait = std::chrono::microseconds(200);
+  // Throughput measurement wants every request answered, not shed: the
+  // client windows above can legitimately stack clients x window requests.
+  scheduler_options.max_queue_depth = 0;
 
   // The sharded column is a scale-out configuration (1/P of the U⁻¹
   // payload per shard, no global pruning threshold), not a single-host

@@ -1,0 +1,149 @@
+// kdash::fault — deterministic, seedable fault injection.
+//
+// Serving code grows recovery paths (shard retries, degraded merges, load
+// shedding) that production rarely exercises and a debugger cannot schedule.
+// This framework makes failures a first-class, reproducible input: code
+// declares *named injection sites* at the exact points where the real world
+// can fail (a file read, a shard search, a socket write), and tests or
+// operators *arm* those sites with a deterministic schedule. A disarmed
+// site costs one relaxed atomic load and a predicted branch — nothing else:
+// no string lookup, no Status construction, no lock.
+//
+// Declaring a site (in a function returning Status or Result<T>):
+//
+//   KDASH_INJECT_FAULT("index_io.read");   // returns the injected Status
+//
+// Arming programmatically (tests):
+//
+//   fault::FaultSpec spec;
+//   spec.probability = 0.25;               // each evaluation fires at 25%
+//   spec.seed = 42;                        // same seed → same fire pattern
+//   spec.code = StatusCode::kDataLoss;
+//   fault::ScopedFault guard("index_io.read", spec);  // disarms on scope exit
+//
+// Arming from the environment (chaos CI, ops):
+//
+//   KDASH_FAULTS=index_io.read=0.01@7,sharded.shard_search=0.5@3:UNAVAILABLE
+//
+// Spec grammar (comma-separated entries):
+//   site=probability[@seed][:CODE][#max_fires]
+// CODE is a canonical status-code name (UNAVAILABLE, DATA_LOSS, ...);
+// the default injected code is kUnavailable.
+//
+// Determinism: each site keeps an evaluation counter; the n-th evaluation
+// fires iff hash(seed, n) < probability (or iff n is listed in
+// fire_on_hits). The fire pattern is a pure function of (seed, n), so a
+// failing chaos run reproduces from its logged KDASH_FAULTS string alone —
+// under concurrency the *set* of fired draws is fixed even when which
+// thread observes which draw is not.
+#ifndef KDASH_COMMON_FAULT_H_
+#define KDASH_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kdash::fault {
+
+struct FaultSpec {
+  // Chance that one evaluation of the site fires, in [0, 1]. Ignored when
+  // fire_on_hits is non-empty.
+  double probability = 1.0;
+
+  // Seed for the per-evaluation hash; same (seed, probability) → the same
+  // fire pattern, independent of thread interleaving.
+  std::uint64_t seed = 0;
+
+  // Status returned by a firing site.
+  StatusCode code = StatusCode::kUnavailable;
+
+  // Stop firing after this many fires (the site stays armed but inert);
+  // e.g. max_fires = 1 makes a shard fail exactly once, so a retry must
+  // succeed. Defaults to unlimited.
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+
+  // Exact schedule: fire on precisely these 0-based evaluation indices
+  // (overrides probability). Sorted or not — Arm() sorts a copy.
+  std::vector<std::uint64_t> fire_on_hits;
+};
+
+namespace internal {
+// Count of armed sites; the whole framework's fast path keys off it.
+extern std::atomic<int> g_armed_sites;
+// Slow path: look the site up and roll its deterministic draw.
+Status Evaluate(std::string_view site);
+}  // namespace internal
+
+// True iff any site is armed. One relaxed load — the only cost a disarmed
+// process ever pays per injection point.
+inline bool AnyArmed() {
+  return internal::g_armed_sites.load(std::memory_order_relaxed) > 0;
+}
+
+// Evaluate a site: Ok when nothing is armed, when this site is not armed,
+// or when the armed site's draw does not fire; the injected Status
+// otherwise. Thread-safe.
+inline Status Check(std::string_view site) {
+  if (!AnyArmed()) return Status::Ok();
+  return internal::Evaluate(site);
+}
+
+// Arm / re-arm a site (replaces any previous spec and resets counters).
+// probability is clamped to [0, 1]; code kOk is rejected by KDASH_CHECK
+// (an injected "success" is meaningless).
+void Arm(std::string_view site, FaultSpec spec);
+
+// Disarm one site / every site. Disarming an unarmed site is a no-op.
+void Disarm(std::string_view site);
+void DisarmAll();
+
+// Parse and arm a KDASH_FAULTS-style spec string (grammar above). On a
+// malformed entry nothing is armed and kInvalidArgument names the bad
+// entry. An empty string arms nothing and is OK.
+Status ArmFromSpec(std::string_view spec);
+
+// Per-site counters, for tests and for logging which faults actually hit.
+struct SiteStats {
+  std::uint64_t evaluations = 0;
+  std::uint64_t fires = 0;
+};
+// Zeros for unknown/disarmed sites (counters die with Disarm).
+SiteStats GetStats(std::string_view site);
+std::vector<std::string> ArmedSites();
+
+// RAII arming for tests: arms in the constructor, disarms in the
+// destructor, so a failing ASSERT cannot leak an armed site into the next
+// test case.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, FaultSpec spec) : site_(site) {
+    Arm(site_, std::move(spec));
+  }
+  ~ScopedFault() { Disarm(site_); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace kdash::fault
+
+// Injection-site macro for Status/Result<T> functions: evaluates the site
+// and early-returns the injected Status when it fires. Disarmed cost: one
+// relaxed atomic load.
+#define KDASH_INJECT_FAULT(site)                                     \
+  do {                                                               \
+    if (::kdash::fault::AnyArmed()) {                                \
+      ::kdash::Status kdash_injected_ =                              \
+          ::kdash::fault::internal::Evaluate(site);                  \
+      if (!kdash_injected_.ok()) return kdash_injected_;             \
+    }                                                                \
+  } while (false)
+
+#endif  // KDASH_COMMON_FAULT_H_

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -30,6 +30,7 @@ enum class StatusCode {
   kInternal,            // invariant violation surfaced as an error
   kDeadlineExceeded,    // request expired before it could be served
   kUnavailable,         // service is shutting down or not accepting work
+  kResourceExhausted,   // admission control shed the request (overload)
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -64,6 +65,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -101,6 +101,17 @@ struct Query {
 struct SearchResult {
   std::vector<ScoredNode> top;  // ranked best-first
   core::SearchStats stats;
+
+  // Failure-domain accounting, filled by serving::ShardedEngine: how many
+  // shards contributed to `top` and how many were dropped by a graceful
+  // degradation policy. A single unsharded Engine leaves both at 0. A
+  // result is complete iff shards_failed == 0; a degraded result is still
+  // the *exact* top-k over the surviving shards' nodes, just possibly
+  // missing nodes owned by the failed ones.
+  int shards_ok = 0;
+  int shards_failed = 0;
+
+  bool degraded() const { return shards_failed > 0; }
 };
 
 class Engine {

@@ -13,6 +13,7 @@
 #include <ostream>
 #include <type_traits>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "core/kdash_index.h"
 
@@ -81,6 +82,9 @@ class Reader {
   template <typename T>
   Status Pod(T* out) {
     static_assert(std::is_trivially_copyable_v<T>);
+    // Chaos hook: a firing "index_io.read" is indistinguishable from a
+    // failed read() — Load must unwind to a clean non-OK Status.
+    KDASH_INJECT_FAULT("index_io.read");
     in_.read(reinterpret_cast<char*>(out), sizeof(T));
     if (!in_.good()) return Status::DataLoss("truncated index stream");
     Consume(sizeof(T));
@@ -91,6 +95,7 @@ class Reader {
   Status Vec(std::vector<T>* out) {
     std::uint64_t size = 0;
     KDASH_RETURN_IF_ERROR(Pod(&size));
+    KDASH_INJECT_FAULT("index_io.read");
     if (size > std::numeric_limits<std::uint64_t>::max() / sizeof(T) ||
         (remaining_known_ && size * sizeof(T) > remaining_)) {
       return Status::DataLoss("corrupt index stream: array length exceeds "
@@ -215,6 +220,7 @@ Status CheckSize(const char* what, std::size_t got, std::size_t want) {
 }  // namespace
 
 Status KDashIndex::Save(std::ostream& out) const {
+  KDASH_INJECT_FAULT("index_io.write");
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
 
@@ -375,6 +381,7 @@ Status KDashIndex::SaveFile(const std::string& path) const {
 }
 
 Result<KDashIndex> KDashIndex::LoadFile(const std::string& path) {
+  KDASH_INJECT_FAULT("index_io.open");
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     return Status::NotFound("cannot open " + path);

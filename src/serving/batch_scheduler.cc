@@ -1,15 +1,25 @@
 #include "serving/batch_scheduler.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/fault.h"
 
 namespace kdash::serving {
 
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+// Codes worth a retry: the condition can clear on its own (an injected
+// transient, a momentarily saturated backend). Everything else is
+// deterministic for a fixed query and would fail identically again.
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
 
 // Total order over queries so identical requests sort adjacent. Two queries
 // compare equal only when every field that affects the answer matches, so
@@ -33,6 +43,8 @@ BatchScheduler::BatchScheduler(Backend backend,
   KDASH_CHECK(backend_ != nullptr);
   KDASH_CHECK(options_.max_batch_size >= 1);
   KDASH_CHECK(options_.max_wait.count() >= 0);
+  KDASH_CHECK(options_.max_retries >= 0);
+  KDASH_CHECK(options_.retry_backoff.count() >= 0);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -53,6 +65,17 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
       ++stats_.rejected;
       request.promise.set_value(Status::Unavailable(
           "batch scheduler is shut down and not accepting requests"));
+      return future;
+    }
+    if (options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
+      // Admission control: shedding here keeps queueing delay bounded and
+      // tells the client to back off, instead of letting overload show up
+      // as unbounded latency (and memory) growth.
+      ++stats_.shed;
+      request.promise.set_value(Status::ResourceExhausted(
+          "scheduler queue full (" + std::to_string(queue_.size()) +
+          " pending); request shed — retry with backoff"));
       return future;
     }
     ++stats_.submitted;
@@ -142,7 +165,7 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
       unique_of[i] = queries.size() - 1;
     }
 
-    auto results = backend_(queries);
+    auto results = InvokeBackend(queries);
     std::vector<Result<SearchResult>> per_unique;
     per_unique.reserve(queries.size());
     if (results.ok()) {
@@ -155,7 +178,7 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
       // Engine::SearchBatch). Retry per distinct query so only the bad
       // ones fail.
       for (std::size_t u = 0; u < queries.size(); ++u) {
-        auto single = backend_({&queries[u], 1});
+        auto single = InvokeBackend({&queries[u], 1});
         per_unique.push_back(single.ok()
                                  ? Result<SearchResult>(
                                        std::move(single->front()))
@@ -178,11 +201,16 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
   }
 
   // Count first, then resolve (see the ordering note above).
+  std::uint64_t degraded = 0;
+  for (const Result<SearchResult>& outcome : outcomes) {
+    if (outcome.ok() && outcome->degraded()) ++degraded;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.deadline_expired += overdue.size();
     stats_.served += live.size();
     stats_.coalesced += coalesced;
+    stats_.degraded += degraded;
   }
   for (Request& request : overdue) {
     request.promise.set_value(Status::DeadlineExceeded(
@@ -194,6 +222,29 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
   }
   for (std::size_t i = 0; i < live.size(); ++i) {
     live[i].promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+Result<std::vector<SearchResult>> BatchScheduler::InvokeBackend(
+    std::span<const Query> queries) {
+  auto backoff = options_.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    // Chaos hook: a firing "scheduler.dispatch" stands in for a transient
+    // backend failure at the moment of dispatch.
+    Status injected = fault::Check("scheduler.dispatch");
+    auto results = injected.ok()
+                       ? backend_(queries)
+                       : Result<std::vector<SearchResult>>(injected);
+    if (results.ok() || !IsTransient(results.status().code()) ||
+        attempt >= options_.max_retries) {
+      return results;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retried;
+    }
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, options_.max_retry_backoff);
   }
 }
 

@@ -27,6 +27,14 @@
 //   - A batch-level backend error (Engine::SearchBatch fails the whole
 //     batch on one invalid query) triggers a per-request retry, so one bad
 //     request never poisons its batchmates.
+//   - Admission control: at most max_queue_depth requests may be pending;
+//     past that, Submit resolves immediately to kResourceExhausted (shed)
+//     instead of queueing unboundedly — under overload latency stays
+//     bounded and the client gets a machine-readable "back off" signal.
+//   - Transient backend failures (kUnavailable, kResourceExhausted — e.g.
+//     an injected fault or a momentarily overloaded sharded backend) are
+//     retried with bounded exponential backoff before the error reaches
+//     any future.
 #ifndef KDASH_SERVING_BATCH_SCHEDULER_H_
 #define KDASH_SERVING_BATCH_SCHEDULER_H_
 
@@ -51,6 +59,20 @@ struct BatchSchedulerOptions {
   std::size_t max_batch_size = 64;
   // ...or when the oldest pending request has waited this long.
   std::chrono::microseconds max_wait{500};
+
+  // Admission control: shed (kResourceExhausted) any Submit that would
+  // leave more than this many requests queued. 0 = unbounded (the
+  // pre-admission-control behavior).
+  std::size_t max_queue_depth = 4096;
+
+  // Transient-failure handling: a backend call failing with kUnavailable
+  // or kResourceExhausted is retried up to max_retries times, sleeping
+  // retry_backoff · 2^r (capped at max_retry_backoff) before retry r.
+  // Other codes (kInvalidArgument, kDataLoss, ...) are deterministic and
+  // never retried.
+  int max_retries = 2;
+  std::chrono::microseconds retry_backoff{200};
+  std::chrono::microseconds max_retry_backoff{20'000};
 };
 
 class BatchScheduler {
@@ -80,6 +102,10 @@ class BatchScheduler {
   // Idempotent and safe to call concurrently with Submit.
   void Shutdown();
 
+  // Every Submit call lands in exactly one of {rejected, shed, submitted},
+  // and every submitted request eventually lands in exactly one of
+  // {served, deadline_expired} — so after all futures resolve,
+  // submitted == served + deadline_expired.
   struct Stats {
     std::uint64_t submitted = 0;
     std::uint64_t batches_dispatched = 0;
@@ -87,6 +113,9 @@ class BatchScheduler {
     std::uint64_t coalesced = 0;          // duplicates answered by a batchmate
     std::uint64_t deadline_expired = 0;   // resolved to kDeadlineExceeded
     std::uint64_t rejected = 0;           // submitted after shutdown
+    std::uint64_t shed = 0;               // refused: queue at max_queue_depth
+    std::uint64_t retried = 0;            // backend re-invocations (transient)
+    std::uint64_t degraded = 0;           // served with shards_failed > 0
   };
   Stats stats() const;
 
@@ -103,6 +132,10 @@ class BatchScheduler {
   // rest run through the backend (whole-batch first, per-request on a
   // batch-level error).
   void RunBatch(std::vector<Request> batch);
+  // One backend call with the transient-retry policy (and the
+  // "scheduler.dispatch" fault-injection site) applied.
+  Result<std::vector<SearchResult>> InvokeBackend(
+      std::span<const Query> queries);
 
   Backend backend_;
   BatchSchedulerOptions options_;

@@ -1,16 +1,42 @@
 #include "serving/sharded_engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/top_k.h"
 
 namespace kdash::serving {
+
+struct ShardedEngine::Counters {
+  std::atomic<std::uint64_t> shard_failures{0};
+  std::atomic<std::uint64_t> shard_retries{0};
+  std::atomic<std::uint64_t> degraded_queries{0};
+};
+
+ShardedEngine::ShardedEngine() : counters_(std::make_unique<Counters>()) {}
+ShardedEngine::ShardedEngine(ShardedEngine&&) noexcept = default;
+ShardedEngine& ShardedEngine::operator=(ShardedEngine&&) noexcept = default;
+ShardedEngine::~ShardedEngine() = default;
+
+ShardedEngine::FailureStats ShardedEngine::failure_stats() const {
+  FailureStats stats;
+  stats.shard_failures =
+      counters_->shard_failures.load(std::memory_order_relaxed);
+  stats.shard_retries =
+      counters_->shard_retries.load(std::memory_order_relaxed);
+  stats.degraded_queries =
+      counters_->degraded_queries.load(std::memory_order_relaxed);
+  return stats;
+}
 
 ThreadPool& ShardedEngine::Pool() const {
   return owned_pool_ != nullptr ? *owned_pool_ : ThreadPool::Shared();
@@ -58,6 +84,12 @@ Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
   if (options.num_search_threads < 0) {
     return Status::InvalidArgument("num_search_threads must be >= 0");
   }
+  if (options.failure_policy.max_retries < 0) {
+    return Status::InvalidArgument("failure_policy.max_retries must be >= 0");
+  }
+  if (options.failure_policy.min_shards_ok < 1) {
+    return Status::InvalidArgument("failure_policy.min_shards_ok must be >= 1");
+  }
 
   // One full precompute (Engine::Build validates graph and index options),
   // then P restrictions of it.
@@ -67,6 +99,7 @@ Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
 
   ShardedEngine sharded;
   sharded.num_nodes_ = graph.num_nodes();
+  sharded.policy_ = options.failure_policy;
   // A dedicated fan-out pool only when the requested size differs from the
   // shared pool's default — same single-default-pool policy (and same
   // no-materialization size check) as core::SearcherPool.
@@ -226,6 +259,41 @@ Result<ShardedEngine> ShardedEngine::Open(const std::string& dir) {
   return sharded;
 }
 
+Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
+                                  SearchResult* out) const {
+  const bool retryable_mode = policy_.mode != ShardFailureMode::kFailFast;
+  auto backoff = policy_.initial_backoff;
+  for (int attempt = 0;; ++attempt) {
+    Status status = Status::Ok();
+    if (fault::AnyArmed()) {
+      // Two sites: a generic one for probabilistic chaos over the whole
+      // fan-out, and a per-shard one so tests can kill shard s exactly.
+      status = fault::Check("sharded.shard_search");
+      if (status.ok()) {
+        status = fault::Check("sharded.shard_search.s" + std::to_string(s));
+      }
+    }
+    if (status.ok()) {
+      auto result = shards_[s].Search(query);
+      if (result.ok()) {
+        *out = std::move(*result);
+        return Status::Ok();
+      }
+      status = result.status();
+    }
+    counters_->shard_failures.fetch_add(1, std::memory_order_relaxed);
+    // An invalid query fails identically on every shard and on every
+    // attempt — retrying or degrading would only mask the caller's bug.
+    if (!retryable_mode || status.code() == StatusCode::kInvalidArgument ||
+        attempt >= policy_.max_retries) {
+      return status;
+    }
+    counters_->shard_retries.fetch_add(1, std::memory_order_relaxed);
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, policy_.max_backoff);
+  }
+}
+
 Result<std::vector<SearchResult>> ShardedEngine::FanOut(
     std::span<const Query> queries) const {
   const std::size_t num_queries = queries.size();
@@ -242,35 +310,60 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
       const auto i = static_cast<std::size_t>(t);
       const std::size_t q = i / shard_count;
       const std::size_t s = i % shard_count;
-      auto result = shards_[s].Search(queries[q]);
-      if (result.ok()) {
-        partials[i] = std::move(*result);
-      } else {
-        statuses[i] = result.status();
-      }
+      statuses[i] = SearchShard(queries[q], s, &partials[i]);
     }
   });
 
-  // Every shard validates identically, so scanning in slot order reports
-  // the first failing query deterministically.
-  for (std::size_t i = 0; i < statuses.size(); ++i) {
-    if (!statuses[i].ok()) {
-      if (num_queries == 1) return statuses[i];
-      return Status(statuses[i].code(),
-                    "query " + std::to_string(i / shard_count) + ": " +
-                        statuses[i].message());
-    }
-  }
+  const auto fail_query = [&](std::size_t q,
+                              const Status& status) -> Status {
+    if (num_queries == 1) return status;
+    return Status(status.code(),
+                  "query " + std::to_string(q) + ": " + status.message());
+  };
 
-  // Exact merge: each shard returned the exact top-k among its own nodes,
-  // so the global top-k is the k best of the union under the library-wide
-  // (score desc, id asc) total order — the same order TopKHeap applies
-  // inside a single unsharded search.
+  // Per-query failure domains: a shard failure poisons only its own query,
+  // and only as far as the policy allows. Scanning shards in slot order
+  // keeps the reported error deterministic regardless of fan-out timing.
+  const bool degrade = policy_.mode == ShardFailureMode::kDegrade;
   std::vector<SearchResult> results(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
+    int ok_shards = 0;
+    const Status* first_failure = nullptr;
+    bool invalid = false;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const Status& status = statuses[q * shard_count + s];
+      if (status.ok()) {
+        ++ok_shards;
+      } else {
+        if (first_failure == nullptr) first_failure = &status;
+        invalid |= status.code() == StatusCode::kInvalidArgument;
+      }
+    }
+    const int failed_shards = static_cast<int>(shard_count) - ok_shards;
+    if (failed_shards > 0) {
+      // kInvalidArgument is never degradable (see ShardFailureMode), and
+      // fail-fast/retry-exhausted failures keep today's whole-call
+      // contract.
+      if (invalid || !degrade) return fail_query(q, *first_failure);
+      if (ok_shards < policy_.min_shards_ok) {
+        return fail_query(
+            q, Status(first_failure->code(),
+                      "degraded below min_shards_ok (" +
+                          std::to_string(ok_shards) + "/" +
+                          std::to_string(shard_count) + " shards ok): " +
+                          first_failure->message()));
+      }
+      counters_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Exact merge over the surviving shards: each returned the exact top-k
+    // among its own nodes, so the k best of their union under the
+    // library-wide (score desc, id asc) total order is exactly what a
+    // single engine restricted to those node ranges would return.
     TopKHeap heap(queries[q].k);
     core::SearchStats merged;
     for (std::size_t s = 0; s < shard_count; ++s) {
+      if (!statuses[q * shard_count + s].ok()) continue;
       const SearchResult& partial = partials[q * shard_count + s];
       for (const ScoredNode& entry : partial.top) {
         heap.Push(entry.node, entry.score);
@@ -282,6 +375,8 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
     }
     results[q].top = heap.Sorted();
     results[q].stats = merged;
+    results[q].shards_ok = ok_shards;
+    results[q].shards_failed = failed_shards;
   }
   return results;
 }

@@ -27,6 +27,8 @@
 #ifndef KDASH_SERVING_SHARDED_ENGINE_H_
 #define KDASH_SERVING_SHARDED_ENGINE_H_
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -38,6 +40,39 @@
 #include "graph/graph.h"
 
 namespace kdash::serving {
+
+// What the fan-out does when one shard's search fails (an injected fault, a
+// failed IO-backed shard, an internal error) while the others succeed. A
+// kInvalidArgument is never subject to this policy: every shard validates
+// the query identically, so an invalid query fails the call outright under
+// every mode — degradation must never mask caller bugs.
+enum class ShardFailureMode {
+  // Today's behavior and the default: the first shard failure fails the
+  // whole query (SearchBatch: the whole batch).
+  kFailFast,
+  // Retry the failing shard with bounded exponential backoff; if it still
+  // fails after max_retries extra attempts, fail the query.
+  kRetry,
+  // Retry like kRetry, then drop the shard: merge the surviving shards
+  // exactly and tag the result (shards_ok/shards_failed). Fails only when
+  // fewer than min_shards_ok shards survive.
+  kDegrade,
+};
+
+struct ShardFailurePolicy {
+  ShardFailureMode mode = ShardFailureMode::kFailFast;
+
+  // Extra attempts per shard per query (kRetry/kDegrade). 0 = no retries.
+  int max_retries = 2;
+
+  // Backoff before retry r is initial_backoff · 2^r, capped at max_backoff.
+  std::chrono::microseconds initial_backoff{100};
+  std::chrono::microseconds max_backoff{10'000};
+
+  // kDegrade: a query needs at least this many surviving shards, else it
+  // fails with the first shard's error.
+  int min_shards_ok = 1;
+};
 
 struct ShardedEngineOptions {
   // Number of node partitions. Must be in [1, num_nodes]; each shard owns a
@@ -51,6 +86,9 @@ struct ShardedEngineOptions {
   // shared pool (KDASH_NUM_THREADS workers); the shard engines themselves
   // always borrow the shared pool so P shards never spawn P pools.
   int num_search_threads = 0;
+
+  // Per-shard failure handling for Search/SearchBatch (see above).
+  ShardFailurePolicy failure_policy;
 };
 
 class ShardedEngine {
@@ -79,7 +117,10 @@ class ShardedEngine {
   // Fan one query out to every shard (in parallel) and merge the per-shard
   // top-k heaps into the exact global top-k. Same validation and Status
   // contract as Engine::Search; stats are summed across shards
-  // (terminated_early = any shard pruned).
+  // (terminated_early = any shard pruned). Under a kDegrade policy a result
+  // may cover only the surviving shards — check SearchResult::degraded();
+  // the merge over survivors is still exact (bit-identical to an engine
+  // restricted to their node ranges).
   Result<SearchResult> Search(const Query& query) const;
 
   // Batch variant: queries × shards fan out as one flat parallel loop, so a
@@ -97,17 +138,39 @@ class ShardedEngine {
   NodeId shard_begin(int s) const { return bounds_[static_cast<std::size_t>(s)]; }
   NodeId shard_end(int s) const { return bounds_[static_cast<std::size_t>(s) + 1]; }
 
-  ShardedEngine(ShardedEngine&&) noexcept = default;
-  ShardedEngine& operator=(ShardedEngine&&) noexcept = default;
+  // Failure policy. The setter is for engines opened from disk (Open takes
+  // no options); do not call it concurrently with Search/SearchBatch.
+  const ShardFailurePolicy& failure_policy() const { return policy_; }
+  void set_failure_policy(const ShardFailurePolicy& policy) { policy_ = policy; }
+
+  // Cumulative failure-domain counters across every Search/SearchBatch on
+  // this engine (thread-safe; snapshot semantics).
+  struct FailureStats {
+    std::uint64_t shard_failures = 0;   // individual shard attempts that failed
+    std::uint64_t shard_retries = 0;    // retry attempts issued
+    std::uint64_t degraded_queries = 0; // answered from a strict shard subset
+  };
+  FailureStats failure_stats() const;
+
+  ShardedEngine(ShardedEngine&&) noexcept;
+  ShardedEngine& operator=(ShardedEngine&&) noexcept;
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
 
  private:
-  ShardedEngine() = default;
+  struct Counters;  // atomic FailureStats backing store (see .cc)
+
+  ShardedEngine();
 
   // Runs every (query, shard) pair on the serving pool, then merges shard
   // partial top lists per query.
   Result<std::vector<SearchResult>> FanOut(std::span<const Query> queries) const;
+
+  // One shard's attempt(s) at one query under the failure policy: evaluates
+  // the fault-injection sites, retries with bounded exponential backoff
+  // when the policy says so, and returns the last failure otherwise.
+  Status SearchShard(const Query& query, std::size_t s, SearchResult* out) const;
 
   // The fan-out pool: owned when num_search_threads was set to a size that
   // differs from the shared pool's, the process-wide shared pool otherwise.
@@ -117,6 +180,8 @@ class ShardedEngine {
   std::vector<NodeId> bounds_;  // P + 1 fenceposts: shard s = [b[s], b[s+1])
   std::vector<Engine> shards_;
   std::unique_ptr<ThreadPool> owned_pool_;
+  ShardFailurePolicy policy_;
+  std::unique_ptr<Counters> counters_;  // pointer: atomics, but moves allowed
 };
 
 }  // namespace kdash::serving

@@ -1,0 +1,228 @@
+// BatchScheduler::Stats exact accounting. The counters are the operator's
+// only window into an overloaded or degraded scheduler, so they must obey
+// hard invariants, not be best-effort: every Submit lands in exactly one
+// of {rejected, shed, submitted}, and once all futures resolve,
+// submitted == served + deadline_expired.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serving/batch_scheduler.h"
+#include "test_util.h"
+
+namespace kdash::serving {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::vector<SearchResult> OkResults(std::size_t n) {
+  return std::vector<SearchResult>(n);
+}
+
+TEST(SchedulerStatsTest, MixedOutcomesAccountExactlyInOneRun) {
+  // One scheduler, one run, every counter exercised: an in-flight request
+  // (served), a queued request that expires (deadline_expired), queued
+  // requests that survive (served), overflow submissions (shed), and a
+  // post-shutdown submission (rejected).
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> entered;
+  std::atomic<int> backend_calls{0};
+
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1;  // one request per dispatch, FIFO
+  options.max_wait = milliseconds(0);
+  options.max_queue_depth = 3;
+  options.max_retries = 0;
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        if (backend_calls.fetch_add(1) == 0) entered.set_value();
+        gate.wait();
+        return OkResults(queries.size());
+      },
+      options);
+
+  // The occupant is dispatched and parks inside the gated backend; wait for
+  // it so the queue is verifiably empty before filling it.
+  auto occupant = scheduler.Submit(Query::Single(0, 1));
+  entered.get_future().wait();
+
+  auto expired = scheduler.Submit(Query::Single(1, 1), milliseconds(1));
+  auto queued_a = scheduler.Submit(Query::Single(2, 1));
+  auto queued_b = scheduler.Submit(Query::Single(3, 1));
+  // Queue is now at max_queue_depth: the next submissions must be shed
+  // immediately, without blocking and without ever reaching the backend.
+  auto shed_a = scheduler.Submit(Query::Single(4, 1));
+  auto shed_b = scheduler.Submit(Query::Single(5, 1));
+  for (auto* future : {&shed_a, &shed_b}) {
+    ASSERT_EQ(future->wait_for(milliseconds(0)), std::future_status::ready);
+    const auto result = future->get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(result.status().message().find("shed"), std::string::npos);
+  }
+
+  std::this_thread::sleep_for(milliseconds(10));  // let the deadline pass
+  release.set_value();
+
+  ASSERT_TRUE(occupant.get().ok());
+  const auto expired_result = expired.get();
+  ASSERT_FALSE(expired_result.ok());
+  EXPECT_EQ(expired_result.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(queued_a.get().ok());
+  ASSERT_TRUE(queued_b.get().ok());
+
+  scheduler.Shutdown();
+  const auto rejected = scheduler.Submit(Query::Single(6, 1)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 4u);  // occupant + expired + 2 queued
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.deadline_expired, 1u);
+  EXPECT_EQ(stats.served, 3u);
+  EXPECT_EQ(stats.retried, 0u);
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.submitted, stats.served + stats.deadline_expired);
+  EXPECT_EQ(backend_calls.load(), 3);  // shed/expired never reached it
+}
+
+TEST(SchedulerStatsTest, TransientFailureRetriedThenServed) {
+  std::atomic<int> backend_calls{0};
+  BatchSchedulerOptions options;
+  options.max_retries = 3;
+  options.retry_backoff = std::chrono::microseconds(10);
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        if (backend_calls.fetch_add(1) < 2) {
+          return Status::Unavailable("transient backend hiccup");
+        }
+        return OkResults(queries.size());
+      },
+      options);
+
+  const auto result = scheduler.Submit(Query::Single(0, 1)).get();
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.retried, 2u);  // exactly the two failing invocations
+  EXPECT_EQ(backend_calls.load(), 3);
+}
+
+TEST(SchedulerStatsTest, DeterministicFailureIsNeverRetried) {
+  std::atomic<int> backend_calls{0};
+  BatchSchedulerOptions options;
+  options.max_retries = 5;
+  options.retry_backoff = std::chrono::microseconds(10);
+  BatchScheduler scheduler(
+      [&](std::span<const Query>) -> Result<std::vector<SearchResult>> {
+        ++backend_calls;
+        return Status::DataLoss("corrupt index block");
+      },
+      options);
+
+  const auto result = scheduler.Submit(Query::Single(0, 1)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(scheduler.stats().retried, 0u);
+  // Whole-batch call plus the per-request fallback — but no retry loops.
+  EXPECT_EQ(backend_calls.load(), 2);
+}
+
+TEST(SchedulerStatsTest, RetryExhaustionSurfacesTransientError) {
+  BatchSchedulerOptions options;
+  options.max_retries = 1;
+  options.retry_backoff = std::chrono::microseconds(10);
+  BatchScheduler scheduler(
+      [&](std::span<const Query>) -> Result<std::vector<SearchResult>> {
+        return Status::Unavailable("still down");
+      },
+      options);
+
+  const auto result = scheduler.Submit(Query::Single(0, 1)).get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  // One retry inside the whole-batch invocation, one inside the
+  // per-request fallback invocation: bounded at max_retries each.
+  EXPECT_EQ(scheduler.stats().retried, 2u);
+  EXPECT_EQ(scheduler.stats().served, 1u);  // resolved through the backend path
+}
+
+TEST(SchedulerStatsTest, DegradedServesAreCountedPerRequest) {
+  // A sharded backend that lost a shard: answers are ok() but partial, and
+  // the scheduler must surface how many requests were served degraded.
+  BatchSchedulerOptions options;
+  options.max_batch_size = 4;
+  options.max_wait = milliseconds(20);
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        std::vector<SearchResult> results(queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          // Even sources hit the lost shard; odd ones are served complete.
+          if (queries[q].sources[0] % 2 == 0) {
+            results[q].shards_ok = 2;
+            results[q].shards_failed = 1;
+          } else {
+            results[q].shards_ok = 3;
+          }
+        }
+        return results;
+      },
+      options);
+
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (NodeId q = 0; q < 8; ++q) {
+    futures.push_back(scheduler.Submit(Query::Single(q, 1)));
+  }
+  int degraded_seen = 0;
+  for (auto& future : futures) {
+    const auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    if (result->degraded()) ++degraded_seen;
+  }
+  EXPECT_EQ(degraded_seen, 4);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.served, 8u);
+  EXPECT_EQ(stats.degraded, 4u);
+}
+
+TEST(SchedulerStatsTest, UnboundedQueueNeverSheds) {
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> entered;
+  std::atomic<int> backend_calls{0};
+  BatchSchedulerOptions options;
+  options.max_batch_size = 1;
+  options.max_wait = milliseconds(0);
+  options.max_queue_depth = 0;  // explicit opt-out of admission control
+  BatchScheduler scheduler(
+      [&](std::span<const Query> queries) -> Result<std::vector<SearchResult>> {
+        if (backend_calls.fetch_add(1) == 0) entered.set_value();
+        gate.wait();
+        return OkResults(queries.size());
+      },
+      options);
+
+  auto occupant = scheduler.Submit(Query::Single(0, 1));
+  entered.get_future().wait();
+  std::vector<std::future<Result<SearchResult>>> futures;
+  for (NodeId q = 0; q < 100; ++q) {
+    futures.push_back(scheduler.Submit(Query::Single(q, 1)));
+  }
+  release.set_value();
+  ASSERT_TRUE(occupant.get().ok());
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.submitted, 101u);
+  EXPECT_EQ(stats.served, 101u);
+}
+
+}  // namespace
+}  // namespace kdash::serving

@@ -5,10 +5,17 @@
 //
 // Request line grammar (whitespace-separated):
 //   <source> [<source> ...] [-- <exclude> ...] [k=<n>]
+// plus the literal health request `{"ping":1}` (answered in order with a
+// pong record, without touching the scheduler or the index).
 // Response records:
 //   {"id":7,"sources":[3],"k":5,"top":[{"node":9,"score":0.0123},...],
 //    "visited":42,"computed":17,"pruned":true}
-//   {"id":8,"error":"INVALID_ARGUMENT: source node 999 out of range ..."}
+//   {"id":8,"code":"INVALID_ARGUMENT","error":"source node 999 out of ..."}
+//   {"id":9,"pong":1}
+// Error records carry the canonical status-code name in "code" so clients
+// can branch on DEADLINE_EXCEEDED / UNAVAILABLE / RESOURCE_EXHAUSTED
+// without parsing the human-readable message. Degraded sharded results add
+// "shards_failed" (complete results omit it).
 #ifndef KDASH_TOOLS_JSON_LINES_H_
 #define KDASH_TOOLS_JSON_LINES_H_
 
@@ -90,9 +97,28 @@ inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
   return true;
 }
 
+// Error record with a machine-readable code field. The string overload is
+// for client-side parse failures, which are kInvalidArgument by definition.
+inline std::string FormatErrorRecord(long long id, const Status& status) {
+  return "{\"id\":" + std::to_string(id) + ",\"code\":\"" +
+         StatusCodeName(status.code()) + "\",\"error\":\"" +
+         JsonEscape(status.message()) + "\"}";
+}
+
 inline std::string FormatErrorRecord(long long id, const std::string& message) {
-  return "{\"id\":" + std::to_string(id) + ",\"error\":\"" +
-         JsonEscape(message) + "\"}";
+  return FormatErrorRecord(id, Status::InvalidArgument(message));
+}
+
+inline std::string FormatPongRecord(long long id) {
+  return "{\"id\":" + std::to_string(id) + ",\"pong\":1}";
+}
+
+// The literal health-request line (exact match after trimming whitespace).
+inline bool IsPingLine(const std::string& line) {
+  std::size_t begin = line.find_first_not_of(" \t");
+  std::size_t end = line.find_last_not_of(" \t");
+  if (begin == std::string::npos) return false;
+  return line.compare(begin, end - begin + 1, "{\"ping\":1}") == 0;
 }
 
 inline std::string FormatResultRecord(long long id, const Query& query,
@@ -114,7 +140,14 @@ inline std::string FormatResultRecord(long long id, const Query& query,
             ",\"computed\":" +
             std::to_string(result.stats.proximity_computations) +
             ",\"pruned\":" +
-            (result.stats.terminated_early ? "true" : "false") + "}";
+            (result.stats.terminated_early ? "true" : "false");
+  if (result.degraded()) {
+    // Partial top-k (graceful degradation): callers that need completeness
+    // must check for this field.
+    record += ",\"shards_ok\":" + std::to_string(result.shards_ok) +
+              ",\"shards_failed\":" + std::to_string(result.shards_failed);
+  }
+  record += "}";
   return record;
 }
 

@@ -247,6 +247,10 @@ int CmdBatch(const std::vector<std::string>& args) {
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty() || line[0] == '#') continue;
+    if (tools::IsPingLine(line)) {  // protocol parity with kdash_server
+      std::printf("%s\n", tools::FormatPongRecord(id++).c_str());
+      continue;
+    }
     Query query;
     std::string parse_error;
     if (!tools::ParseQueryLine(line, default_k, &query, &parse_error)) {
@@ -257,8 +261,7 @@ int CmdBatch(const std::vector<std::string>& args) {
     const auto result = engine->Search(query);
     if (!result.ok()) {
       std::printf(
-          "%s\n",
-          tools::FormatErrorRecord(id++, result.status().ToString()).c_str());
+          "%s\n", tools::FormatErrorRecord(id++, result.status()).c_str());
       ++failures;
       continue;
     }

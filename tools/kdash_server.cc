@@ -7,6 +7,7 @@
 //
 //   kdash_server <index.kdash | sharded-index-dir/> [--k=5] [--batch=64]
 //                [--wait-us=500] [--deadline-ms=0] [--window=256]
+//                [--max-queue=4096] [--degrade=fail|retry|degrade]
 //                [--port=7607]
 //
 // The index argument is a single-index file, or a directory written by
@@ -21,12 +22,22 @@
 // where micro-batching pays off.
 //
 //   --deadline-ms=N  per-request deadline; expired requests come back as
-//                    {"error":"DEADLINE_EXCEEDED: ..."} records (0 = none)
+//                    {"code":"DEADLINE_EXCEEDED",...} records (0 = none)
+//   --max-queue=N    admission control: shed requests past N pending with
+//                    {"code":"RESOURCE_EXHAUSTED",...} (0 = unbounded)
+//   --degrade=MODE   sharded-index failure policy: fail (default), retry,
+//                    or degrade (serve partial top-k from live shards,
+//                    tagged with "shards_failed")
+//
+// Every error record carries the canonical status-code name in "code", and
+// the literal request line {"ping":1} answers {"id":N,"pong":1} in order —
+// a health probe that works even while queries are being shed.
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -46,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/engine.h"
 #include "json_lines.h"
 #include "serving/batch_scheduler.h"
@@ -60,6 +72,7 @@ struct ServerConfig {
   std::size_t window = 256;               // max in-flight requests per stream
   int port = -1;                          // -1 = stdin/stdout mode
   serving::BatchSchedulerOptions scheduler;
+  serving::ShardFailurePolicy failure_policy;  // sharded indexes only
 };
 
 int Usage() {
@@ -67,6 +80,8 @@ int Usage() {
                "usage: kdash_server <index.kdash|sharded-dir> [--k=5]\n"
                "                    [--batch=64] [--wait-us=500]\n"
                "                    [--deadline-ms=0] [--window=256]\n"
+               "                    [--max-queue=4096]\n"
+               "                    [--degrade=fail|retry|degrade]\n"
                "                    [--port=7607]\n");
   return 2;
 }
@@ -89,23 +104,26 @@ bool NumericFlag(const std::string& arg, const char* name, long long* value) {
 // A line sink the pump can write records to (stdout or a socket).
 using WriteLine = std::function<bool(const std::string&)>;
 
-// One in-flight request of a stream: either an immediately-failed parse
-// (error set) or a query waiting on its scheduler future.
+// One in-flight request of a stream: a health ping, an immediately-failed
+// parse (error set), or a query waiting on its scheduler future.
 struct Pending {
   long long id = 0;
+  bool is_ping = false;
   Query query;
   std::string parse_error;
   std::optional<std::future<Result<SearchResult>>> future;
 };
 
 bool Resolve(Pending& pending, const WriteLine& write) {
+  if (pending.is_ping) {
+    return write(tools::FormatPongRecord(pending.id));
+  }
   if (!pending.future.has_value()) {
     return write(tools::FormatErrorRecord(pending.id, pending.parse_error));
   }
   Result<SearchResult> result = pending.future->get();
   if (!result.ok()) {
-    return write(
-        tools::FormatErrorRecord(pending.id, result.status().ToString()));
+    return write(tools::FormatErrorRecord(pending.id, result.status()));
   }
   return write(tools::FormatResultRecord(pending.id, pending.query, *result));
 }
@@ -150,8 +168,10 @@ void PumpStream(std::istream& in, const WriteLine& write,
     if (line.empty() || line[0] == '#') continue;
     Pending pending;
     pending.id = id++;
-    if (tools::ParseQueryLine(line, config.default_k, &pending.query,
-                              &pending.parse_error)) {
+    if (tools::IsPingLine(line)) {
+      pending.is_ping = true;  // answered in order, never queued or shed
+    } else if (tools::ParseQueryLine(line, config.default_k, &pending.query,
+                                     &pending.parse_error)) {
       pending.future = scheduler.Submit(pending.query, timeout);
     }
     {
@@ -200,11 +220,17 @@ class SocketStreamBuf : public std::streambuf {
 };
 
 bool SendAll(int fd, const std::string& record) {
+  // Chaos hook: a firing "server.send" behaves exactly like a dead client
+  // socket — the stream winds down and the worker exits cleanly.
+  if (fault::AnyArmed() && !fault::Check("server.send").ok()) return false;
   std::string payload = record + "\n";
   std::size_t sent = 0;
   while (sent < payload.size()) {
     const ssize_t wrote =
         ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    // EINTR means a signal interrupted the call before any byte moved —
+    // the connection is fine; killing it here dropped healthy clients.
+    if (wrote < 0 && errno == EINTR) continue;
     if (wrote <= 0) return false;
     sent += static_cast<std::size_t>(wrote);
   }
@@ -340,6 +366,18 @@ int Main(int argc, char** argv) {
       config.deadline = std::chrono::milliseconds(value);
     } else if (NumericFlag(arg, "--window", &value) && value > 0) {
       config.window = static_cast<std::size_t>(value);
+    } else if (NumericFlag(arg, "--max-queue", &value) && value >= 0) {
+      config.scheduler.max_queue_depth = static_cast<std::size_t>(value);
+    } else if (std::string mode; tools::FlagValue(arg, "--degrade", &mode)) {
+      if (mode == "fail") {
+        config.failure_policy.mode = serving::ShardFailureMode::kFailFast;
+      } else if (mode == "retry") {
+        config.failure_policy.mode = serving::ShardFailureMode::kRetry;
+      } else if (mode == "degrade") {
+        config.failure_policy.mode = serving::ShardFailureMode::kDegrade;
+      } else {
+        return Usage();
+      }
     } else if (NumericFlag(arg, "--port", &value) && value > 0 && value < 65536) {
       config.port = static_cast<int>(value);
     } else {
@@ -355,6 +393,7 @@ int Main(int argc, char** argv) {
     auto opened = serving::ShardedEngine::Open(index_path);
     if (!opened.ok()) return Fail(opened.status());
     sharded = std::make_unique<serving::ShardedEngine>(std::move(*opened));
+    sharded->set_failure_policy(config.failure_policy);
     backend = [&s = *sharded](std::span<const Query> queries) {
       return s.SearchBatch(queries);
     };
@@ -388,11 +427,14 @@ int Main(int argc, char** argv) {
   const auto stats = scheduler.stats();
   std::fprintf(stderr,
                "served %llu requests in %llu batches (%llu expired, %llu "
-               "rejected)\n",
+               "rejected, %llu shed, %llu retried, %llu degraded)\n",
                static_cast<unsigned long long>(stats.served),
                static_cast<unsigned long long>(stats.batches_dispatched),
                static_cast<unsigned long long>(stats.deadline_expired),
-               static_cast<unsigned long long>(stats.rejected));
+               static_cast<unsigned long long>(stats.rejected),
+               static_cast<unsigned long long>(stats.shed),
+               static_cast<unsigned long long>(stats.retried),
+               static_cast<unsigned long long>(stats.degraded));
   return exit_code;
 }
 
