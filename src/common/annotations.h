@@ -1,0 +1,107 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros attach compile-time locking contracts to data and code:
+// which mutex guards which field, which lock a function requires, which
+// locks a function acquires or releases. Under Clang with -Wthread-safety
+// (the static-analysis CI job builds with -Werror=thread-safety) every
+// violation — reading a KDASH_GUARDED_BY field without its mutex, calling
+// a KDASH_REQUIRES function unlocked, forgetting to release — is a compile
+// error on *every* path, not just the interleavings a TSan run happens to
+// exercise. Under GCC (or any compiler without the attributes) every macro
+// expands to nothing, so the annotations are free documentation.
+//
+// Conventions used in this codebase:
+//   - Every mutex-protected field is declared KDASH_GUARDED_BY(mutex_); a
+//     pointer whose *pointee* is protected uses KDASH_PT_GUARDED_BY.
+//   - Shared mutable state accessed from lambdas lives in a named struct
+//     with annotated members, never in raw captured locals — the analysis
+//     tracks members, and the struct names the invariant (see
+//     kdash_server.cc's ConnectionRegistry).
+//   - Private helpers that assume a caller-held lock are annotated
+//     KDASH_REQUIRES(mutex_) instead of re-locking.
+//   - Condition-variable wait predicates are written as inline `while
+//     (!cond) cv.Wait(mutex)` loops in the locked scope, not as lambdas —
+//     the analysis proves the predicate's field accesses that way.
+//   - KDASH_NO_THREAD_SAFETY_ANALYSIS is a last resort and must carry a
+//     one-line justification at the use site.
+//
+// What -Wthread-safety guarantees — and does not. It proves lock *discipline*
+// (annotated data is only touched with the right capability held) within
+// analyzed code. It does not find missing annotations (an unannotated field
+// is invisible), cannot see through type-erased boundaries
+// (std::function, virtual calls), and does not model lock *ordering*, so
+// deadlocks remain TSan/review territory. Keep the TSan CI job.
+//
+// The macro set mirrors the LLVM documentation's mutex.h reference header
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed to
+// avoid colliding with other libraries' copies (abseil, protobuf).
+#ifndef KDASH_COMMON_ANNOTATIONS_H_
+#define KDASH_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define KDASH_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define KDASH_THREAD_ANNOTATION_IMPL(x)  // no-op off Clang
+#endif
+
+// Type attribute: this class is a lockable capability ("mutex").
+#define KDASH_CAPABILITY(x) KDASH_THREAD_ANNOTATION_IMPL(capability(x))
+
+// Type attribute: this class is an RAII object that acquires a capability
+// in its constructor and releases it in its destructor.
+#define KDASH_SCOPED_CAPABILITY KDASH_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+// Data attribute: reads require the capability held (shared or exclusive);
+// writes require it held exclusively.
+#define KDASH_GUARDED_BY(x) KDASH_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+// Data attribute: like KDASH_GUARDED_BY, but protects the pointed-to data
+// rather than the pointer itself.
+#define KDASH_PT_GUARDED_BY(x) KDASH_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+// Function attribute: caller must hold the capability (exclusively / at
+// least shared) when calling; the function neither acquires nor releases.
+#define KDASH_REQUIRES(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#define KDASH_REQUIRES_SHARED(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+// Function attribute: the function acquires the capability and holds it
+// past the return (Lock) / releases a held capability (Unlock).
+#define KDASH_ACQUIRE(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#define KDASH_ACQUIRE_SHARED(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(acquire_shared_capability(__VA_ARGS__))
+#define KDASH_RELEASE(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#define KDASH_RELEASE_SHARED(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(release_shared_capability(__VA_ARGS__))
+#define KDASH_RELEASE_GENERIC(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(release_generic_capability(__VA_ARGS__))
+
+// Function attribute: TryLock — acquires only when returning `ret`.
+#define KDASH_TRY_ACQUIRE(ret, ...) \
+  KDASH_THREAD_ANNOTATION_IMPL(try_acquire_capability(ret, __VA_ARGS__))
+
+// Function attribute: caller must NOT hold the capability (non-reentrant
+// public entry points that lock internally).
+#define KDASH_EXCLUDES(...) \
+  KDASH_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+// Function attribute: returns a reference to the named capability (for
+// accessors exposing an internal mutex).
+#define KDASH_RETURN_CAPABILITY(x) \
+  KDASH_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+// Function attribute: opt this function out of the analysis entirely.
+// Last resort; justify at the use site.
+#define KDASH_NO_THREAD_SAFETY_ANALYSIS \
+  KDASH_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+// Expression escape hatch: assert (at runtime, by contract rather than by
+// check) that the capability is held — for call graphs the analysis cannot
+// follow, e.g. a callback invoked only under a documented lock.
+#define KDASH_ASSERT_CAPABILITY(x) \
+  KDASH_THREAD_ANNOTATION_IMPL(assert_capability(x))
+
+#endif  // KDASH_COMMON_ANNOTATIONS_H_

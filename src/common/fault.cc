@@ -4,12 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace kdash::fault {
 
@@ -35,15 +34,18 @@ struct Site {
 };
 
 struct Registry {
-  std::shared_mutex mutex;
+  SharedMutex mutex;
   // shared_ptr so Evaluate can drop the registry lock before rolling the
   // draw — Disarm during a concurrent evaluation then just orphans the
   // site instead of racing its counters' lifetime.
-  std::unordered_map<std::string, std::shared_ptr<Site>> sites;
+  std::unordered_map<std::string, std::shared_ptr<Site>> sites
+      KDASH_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
-  static Registry* registry = new Registry();  // leaked: outlives all threads
+  // kdash-lint: allow(naked-new) intentionally leaked so armed sites stay
+  // valid for threads still running during static destruction.
+  static Registry* registry = new Registry();
   return *registry;
 }
 
@@ -89,7 +91,7 @@ Status Evaluate(std::string_view site) {
   Registry& registry = GetRegistry();
   std::shared_ptr<Site> entry;
   {
-    std::shared_lock<std::shared_mutex> lock(registry.mutex);
+    ReaderMutexLock lock(registry.mutex);
     const auto it = registry.sites.find(std::string(site));
     if (it == registry.sites.end()) return Status::Ok();
     entry = it->second;
@@ -139,7 +141,7 @@ void Arm(std::string_view site, FaultSpec spec) {
   entry->spec = std::move(spec);
 
   Registry& registry = GetRegistry();
-  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  WriterMutexLock lock(registry.mutex);
   auto [it, inserted] =
       registry.sites.insert_or_assign(std::string(site), std::move(entry));
   (void)it;
@@ -150,7 +152,7 @@ void Arm(std::string_view site, FaultSpec spec) {
 
 void Disarm(std::string_view site) {
   Registry& registry = GetRegistry();
-  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  WriterMutexLock lock(registry.mutex);
   if (registry.sites.erase(std::string(site)) > 0) {
     internal::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
   }
@@ -158,7 +160,7 @@ void Disarm(std::string_view site) {
 
 void DisarmAll() {
   Registry& registry = GetRegistry();
-  std::unique_lock<std::shared_mutex> lock(registry.mutex);
+  WriterMutexLock lock(registry.mutex);
   internal::g_armed_sites.fetch_sub(static_cast<int>(registry.sites.size()),
                                     std::memory_order_relaxed);
   registry.sites.clear();
@@ -235,7 +237,7 @@ Status ArmFromSpec(std::string_view spec) {
 
 SiteStats GetStats(std::string_view site) {
   Registry& registry = GetRegistry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderMutexLock lock(registry.mutex);
   const auto it = registry.sites.find(std::string(site));
   if (it == registry.sites.end()) return {};
   SiteStats stats;
@@ -246,7 +248,7 @@ SiteStats GetStats(std::string_view site) {
 
 std::vector<std::string> ArmedSites() {
   Registry& registry = GetRegistry();
-  std::shared_lock<std::shared_mutex> lock(registry.mutex);
+  ReaderMutexLock lock(registry.mutex);
   std::vector<std::string> names;
   names.reserve(registry.sites.size());
   for (const auto& [name, site] : registry.sites) names.push_back(name);

@@ -50,6 +50,24 @@
 
 namespace kdash::fault {
 
+// Canonical registry of every injection site compiled into the library and
+// tools. A site name is lowercase dot-separated segments
+// ([a-z][a-z0-9_]*, '.'-joined); the literal `<N>` marks a parameterized
+// family (one member per shard / connection / ...). tools/kdash_lint.py
+// cross-checks every KDASH_INJECT_FAULT / fault::Check literal in the tree
+// against this list — an injection point whose site is missing here, or a
+// registry entry no code evaluates, fails the lint gate, so this table and
+// the code can never drift apart. Keep it sorted.
+inline constexpr std::string_view kKnownFaultSites[] = {
+    "index_io.open",              // opening an index file for reading
+    "index_io.read",              // any checked read primitive (Pod/Vec)
+    "index_io.write",             // index save stream write
+    "scheduler.dispatch",         // BatchScheduler backend dispatch
+    "server.send",                // kdash_server socket write
+    "sharded.shard_search",       // any shard's search attempt
+    "sharded.shard_search.s<N>",  // shard N's search attempt, exactly
+};
+
 struct FaultSpec {
   // Chance that one evaluation of the site fires, in [0, 1]. Ignored when
   // fire_on_hits is non-empty.
@@ -76,7 +94,7 @@ namespace internal {
 // Count of armed sites; the whole framework's fast path keys off it.
 extern std::atomic<int> g_armed_sites;
 // Slow path: look the site up and roll its deterministic draw.
-Status Evaluate(std::string_view site);
+[[nodiscard]] Status Evaluate(std::string_view site);
 }  // namespace internal
 
 // True iff any site is armed. One relaxed load — the only cost a disarmed
@@ -88,7 +106,7 @@ inline bool AnyArmed() {
 // Evaluate a site: Ok when nothing is armed, when this site is not armed,
 // or when the armed site's draw does not fire; the injected Status
 // otherwise. Thread-safe.
-inline Status Check(std::string_view site) {
+[[nodiscard]] inline Status Check(std::string_view site) {
   if (!AnyArmed()) return Status::Ok();
   return internal::Evaluate(site);
 }
@@ -105,7 +123,7 @@ void DisarmAll();
 // Parse and arm a KDASH_FAULTS-style spec string (grammar above). On a
 // malformed entry nothing is armed and kInvalidArgument names the bad
 // entry. An empty string arms nothing and is OK.
-Status ArmFromSpec(std::string_view spec);
+[[nodiscard]] Status ArmFromSpec(std::string_view spec);
 
 // Per-site counters, for tests and for logging which faults actually hit.
 struct SiteStats {

@@ -40,9 +40,9 @@ ThreadPool::ThreadPool(int num_threads)
     // A spawn failed (e.g. thread-limit hit): release the workers that did
     // start, so destroying a joinable std::thread doesn't std::terminate.
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutdown_ = true;
-      work_cv_.notify_all();
+      work_cv_.NotifyAll();
     }
     for (std::thread& worker : workers_) worker.join();
     throw;
@@ -51,9 +51,9 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   for (std::thread& worker : workers_) worker.join();
 }
@@ -63,8 +63,8 @@ void ThreadPool::WorkerLoop(int rank) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!shutdown_ && generation_ == seen) work_cv_.Wait(mutex_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
@@ -72,12 +72,12 @@ void ThreadPool::WorkerLoop(int rank) {
     try {
       (*job)(rank);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_ == 0) done_cv_.notify_one();
+      MutexLock lock(mutex_);
+      if (--active_ == 0) done_cv_.NotifyOne();
     }
   }
 }
@@ -87,13 +87,13 @@ void ThreadPool::RunOnAllThreads(const std::function<void(int)>& fn) {
     fn(0);
     return;
   }
-  std::lock_guard<std::mutex> submit(submit_mutex_);
+  MutexLock submit(submit_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     active_ = num_threads_ - 1;
     ++generation_;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
   std::exception_ptr caller_error;
   try {
@@ -103,8 +103,8 @@ void ThreadPool::RunOnAllThreads(const std::function<void(int)>& fn) {
   }
   std::exception_ptr worker_error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return active_ == 0; });
+    MutexLock lock(mutex_);
+    while (active_ != 0) done_cv_.Wait(mutex_);
     job_ = nullptr;
     worker_error = first_error_;
     first_error_ = nullptr;
@@ -136,7 +136,9 @@ void ThreadPool::ParallelFor(Index begin, Index end, Index grain,
 }
 
 ThreadPool& ThreadPool::Shared() {
-  static ThreadPool* pool = new ThreadPool(0);  // leaked: workers outlive main
+  // kdash-lint: allow(naked-new) intentionally leaked so pool workers
+  // outlive every static destructor; a unique_ptr would join at exit.
+  static ThreadPool* pool = new ThreadPool(0);
   return *pool;
 }
 

@@ -14,13 +14,13 @@
 #ifndef KDASH_COMMON_PARALLEL_H_
 #define KDASH_COMMON_PARALLEL_H_
 
-#include <condition_variable>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace kdash {
@@ -81,16 +81,19 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Serializes concurrent RunOnAllThreads calls from different threads.
-  std::mutex submit_mutex_;
+  Mutex submit_mutex_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int active_ = 0;
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  // Guards the job-dispatch state below; work_cv_ wakes workers on a new
+  // generation (or shutdown), done_cv_ wakes the submitter when the last
+  // active worker finishes.
+  Mutex mutex_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* job_ KDASH_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ KDASH_GUARDED_BY(mutex_) = 0;
+  int active_ KDASH_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ KDASH_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ KDASH_GUARDED_BY(mutex_);
 };
 
 // Convenience: ParallelFor on the shared pool.

@@ -74,6 +74,13 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // The one sanctioned way to drop a Status. Status is [[nodiscard]]
+  // class-wide, so an ignored return is a compile error (-Werror=
+  // unused-result); a call site that genuinely cannot act on failure —
+  // best-effort cleanup on an already-failing path, a destructor — writes
+  // `DoThing().IgnoreError();` and the intent survives review and grep.
+  void IgnoreError() const {}
+
   // "OK" or "INVALID_ARGUMENT: node 17 out of range".
   std::string ToString() const;
 
@@ -105,6 +112,10 @@ class [[nodiscard]] Result {
 
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
+
+  // See Status::IgnoreError — the explicit discard for a Result whose
+  // value *and* error are both irrelevant (rare; prefer checking ok()).
+  void IgnoreError() const {}
 
   T& value() & {
     KDASH_CHECK(ok()) << "Result::value() on error: " << status_.ToString();

@@ -52,8 +52,8 @@ class DynamicKDash {
   // kInvalidArgument on out-of-range endpoints or a non-positive weight.
   // Both are O(out-degree) plus a deferred O(solve) refresh on the next
   // query.
-  Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
-  Status RemoveEdge(NodeId src, NodeId dst);
+  [[nodiscard]] Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
+  [[nodiscard]] Status RemoveEdge(NodeId src, NodeId dst);
 
   // Exact proximity vector under the *current* graph.
   std::vector<Scalar> Solve(NodeId query);

@@ -1,10 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <mutex>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "core/batch.h"
 #include "core/dynamic.h"
 
@@ -23,20 +23,29 @@ struct Engine::Impl {
   NodeId num_nodes = 0;
   Scalar restart_prob = 0.0;
 
-  // Static backend.
+  // Static backend. The index itself is immutable once built; the searcher
+  // checkout list and the lazily-built batch pool are the mutable state,
+  // each guarded by its own mutex so single-query checkouts never contend
+  // with batch dispatch.
   std::unique_ptr<core::KDashIndex> index;
-  mutable std::mutex searcher_mutex;
-  mutable std::vector<std::unique_ptr<core::KDashSearcher>> idle_searchers;
-  mutable std::mutex batch_mutex;
-  mutable std::unique_ptr<core::SearcherPool> batch_pool;
+  mutable Mutex searcher_mutex;
+  mutable std::vector<std::unique_ptr<core::KDashSearcher>> idle_searchers
+      KDASH_GUARDED_BY(searcher_mutex);
+  mutable Mutex batch_mutex;
+  mutable std::unique_ptr<core::SearcherPool> batch_pool
+      KDASH_GUARDED_BY(batch_mutex);
 
-  // Updatable backend.
-  std::unique_ptr<core::DynamicKDash> dynamic;
-  mutable std::mutex dynamic_mutex;
+  // Updatable backend: the DynamicKDash's correction state is shared, so
+  // every solve and every edge update holds dynamic_mutex. The pointer is
+  // set once at construction (reading it is how callers tell the two
+  // backend kinds apart); only the pointee needs the lock.
+  std::unique_ptr<core::DynamicKDash> dynamic
+      KDASH_PT_GUARDED_BY(dynamic_mutex);
+  mutable Mutex dynamic_mutex;
 
   std::unique_ptr<core::KDashSearcher> AcquireSearcher() const {
     {
-      std::lock_guard<std::mutex> lock(searcher_mutex);
+      MutexLock lock(searcher_mutex);
       if (!idle_searchers.empty()) {
         auto searcher = std::move(idle_searchers.back());
         idle_searchers.pop_back();
@@ -47,11 +56,11 @@ struct Engine::Impl {
   }
 
   void ReleaseSearcher(std::unique_ptr<core::KDashSearcher> searcher) const {
-    std::lock_guard<std::mutex> lock(searcher_mutex);
+    MutexLock lock(searcher_mutex);
     idle_searchers.push_back(std::move(searcher));
   }
 
-  core::SearcherPool& BatchPool() const {
+  core::SearcherPool& BatchPool() const KDASH_REQUIRES(batch_mutex) {
     if (batch_pool == nullptr) {
       batch_pool = std::make_unique<core::SearcherPool>(
           index.get(), options.num_search_threads);
@@ -242,7 +251,7 @@ Result<SearchResult> Engine::Search(const Query& query) const {
   KDASH_RETURN_IF_ERROR(
       ValidateQuery(query, impl_->num_nodes, impl_->dynamic != nullptr));
   if (impl_->dynamic != nullptr) {
-    std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+    MutexLock lock(impl_->dynamic_mutex);
     return RunOnDynamic(*impl_->dynamic, query);
   }
   auto searcher = impl_->AcquireSearcher();
@@ -264,13 +273,13 @@ Result<std::vector<SearchResult>> Engine::SearchBatch(
   }
   std::vector<SearchResult> results(queries.size());
   if (impl_->dynamic != nullptr) {
-    std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+    MutexLock lock(impl_->dynamic_mutex);
     for (std::size_t i = 0; i < queries.size(); ++i) {
       results[i] = RunOnDynamic(*impl_->dynamic, queries[i]);
     }
     return results;
   }
-  std::lock_guard<std::mutex> lock(impl_->batch_mutex);
+  MutexLock lock(impl_->batch_mutex);
   impl_->BatchPool().ForEach(
       queries.size(), [&](core::KDashSearcher& searcher, std::size_t i) {
         results[i] = RunOnSearcher(searcher, queries[i]);
@@ -284,7 +293,7 @@ Status Engine::AddEdge(NodeId src, NodeId dst, Scalar weight) {
         "engine is not updatable; build with EngineOptions::updatable to "
         "accept edge updates");
   }
-  std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+  MutexLock lock(impl_->dynamic_mutex);
   return impl_->dynamic->AddEdge(src, dst, weight);
 }
 
@@ -294,7 +303,7 @@ Status Engine::RemoveEdge(NodeId src, NodeId dst) {
         "engine is not updatable; build with EngineOptions::updatable to "
         "accept edge updates");
   }
-  std::lock_guard<std::mutex> lock(impl_->dynamic_mutex);
+  MutexLock lock(impl_->dynamic_mutex);
   return impl_->dynamic->RemoveEdge(src, dst);
 }
 

@@ -119,14 +119,14 @@ class Engine {
   // Precompute an index for `graph` (or, with options.updatable, factorize
   // it for update-friendly serving). Returns kInvalidArgument for an empty
   // graph or out-of-range options instead of aborting.
-  static Result<Engine> Build(const graph::Graph& graph,
+  [[nodiscard]] static Result<Engine> Build(const graph::Graph& graph,
                               const EngineOptions& options = {});
 
   // Open a previously saved index. Corrupt, truncated, or
   // version-mismatched files come back as non-OK (kDataLoss /
   // kFailedPrecondition), a missing file as kNotFound.
-  static Result<Engine> Open(const std::string& path);
-  static Result<Engine> Open(std::istream& in);
+  [[nodiscard]] static Result<Engine> Open(const std::string& path);
+  [[nodiscard]] static Result<Engine> Open(std::istream& in);
 
   // Wrap an already-built index (e.g., a shard from KDashIndex::Restrict)
   // into a static engine. The index is taken by value — an index in hand is
@@ -135,27 +135,27 @@ class Engine {
 
   // Persist a static engine's index. kFailedPrecondition for updatable
   // engines (their factorization tracks a mutating graph).
-  Status Save(const std::string& path) const;
-  Status Save(std::ostream& out) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(std::ostream& out) const;
 
   // Answer one query. Validates every input (source/exclude ids in range,
   // non-empty sources, duplicate-free excludes, k ≥ 1) and returns
   // kInvalidArgument with a precise message on violation. Thread-safe.
-  Result<SearchResult> Search(const Query& query) const;
+  [[nodiscard]] Result<SearchResult> Search(const Query& query) const;
 
   // Answer a batch; results[i] answers queries[i]. On a static engine the
   // batch fans out over the internal SearcherPool; any invalid query fails
   // the whole batch (use Search per query for per-query error handling —
   // the CLI batch mode does). Thread-safe.
-  Result<std::vector<SearchResult>> SearchBatch(
+  [[nodiscard]] Result<std::vector<SearchResult>> SearchBatch(
       std::span<const Query> queries) const;
 
   // Graph mutation (updatable engines only; kFailedPrecondition otherwise).
   // RemoveEdge of an absent edge returns kNotFound. Exclusive with
   // concurrent searches — callers see either the old or the new graph,
   // never a torn state.
-  Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
-  Status RemoveEdge(NodeId src, NodeId dst);
+  [[nodiscard]] Status AddEdge(NodeId src, NodeId dst, Scalar weight = 1.0);
+  [[nodiscard]] Status RemoveEdge(NodeId src, NodeId dst);
 
   NodeId num_nodes() const;
   Scalar restart_prob() const;
@@ -176,7 +176,8 @@ class Engine {
   struct Impl;
   explicit Engine(std::unique_ptr<Impl> impl);
   // Shared tail of the two Open overloads.
-  static Result<Engine> WrapLoadedIndex(Result<core::KDashIndex> loaded);
+  [[nodiscard]] static Result<Engine> WrapLoadedIndex(
+      Result<core::KDashIndex> loaded);
   std::unique_ptr<Impl> impl_;
 };
 

@@ -75,10 +75,10 @@ class KDashIndex {
   // kNotFound/kFailedPrecondition when the file cannot be opened — the
   // process never aborts on bad input, which is what lets a long-lived
   // server treat index files as untrusted.
-  Status Save(std::ostream& out) const;
-  static Result<KDashIndex> Load(std::istream& in);
-  Status SaveFile(const std::string& path) const;
-  static Result<KDashIndex> LoadFile(const std::string& path);
+  [[nodiscard]] Status Save(std::ostream& out) const;
+  [[nodiscard]] static Result<KDashIndex> Load(std::istream& in);
+  [[nodiscard]] Status SaveFile(const std::string& path) const;
+  [[nodiscard]] static Result<KDashIndex> LoadFile(const std::string& path);
 
   NodeId num_nodes() const { return num_nodes_; }
   Scalar restart_prob() const { return options_.restart_prob; }

@@ -60,7 +60,7 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
   std::future<Result<SearchResult>> future = request.promise.get_future();
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) {
       ++stats_.rejected;
       request.promise.set_value(Status::Unavailable(
@@ -87,21 +87,21 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
     // notify cost from one per request to two per batch.
     wake = queue_.size() == 1 || queue_.size() == options_.max_batch_size;
   }
-  if (wake) wake_scheduler_.notify_one();
+  if (wake) wake_scheduler_.NotifyOne();
   return future;
 }
 
 void BatchScheduler::SchedulerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    wake_scheduler_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    while (!shutdown_ && queue_.empty()) wake_scheduler_.Wait(mutex_);
     if (queue_.empty()) return;  // shutdown with nothing left to drain
 
     // Batch-forming policy: dispatch when full, when the oldest pending
     // request has waited max_wait, or when draining after shutdown.
     const Clock::time_point flush_at = queue_.front().arrival + options_.max_wait;
     while (!shutdown_ && queue_.size() < options_.max_batch_size) {
-      if (wake_scheduler_.wait_until(lock, flush_at) ==
+      if (wake_scheduler_.WaitUntil(mutex_, flush_at) ==
           std::cv_status::timeout) {
         break;
       }
@@ -116,9 +116,9 @@ void BatchScheduler::SchedulerLoop() {
     }
     ++stats_.batches_dispatched;
 
-    lock.unlock();
+    lock.Unlock();
     RunBatch(std::move(batch));
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -206,7 +206,7 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
     if (outcome.ok() && outcome->degraded()) ++degraded;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.deadline_expired += overdue.size();
     stats_.served += live.size();
     stats_.coalesced += coalesced;
@@ -240,7 +240,7 @@ Result<std::vector<SearchResult>> BatchScheduler::InvokeBackend(
       return results;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.retried;
     }
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
@@ -250,17 +250,17 @@ Result<std::vector<SearchResult>> BatchScheduler::InvokeBackend(
 
 void BatchScheduler::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
-  wake_scheduler_.notify_all();
+  wake_scheduler_.NotifyAll();
   // Serialize the join so concurrent Shutdown calls are safe.
-  std::lock_guard<std::mutex> join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   if (scheduler_.joinable()) scheduler_.join();
 }
 
 BatchScheduler::Stats BatchScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

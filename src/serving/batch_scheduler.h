@@ -39,16 +39,15 @@
 #define KDASH_SERVING_BATCH_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
 
@@ -93,7 +92,7 @@ class BatchScheduler {
   // optional timeout is measured from submission: a request still queued
   // when it expires resolves to kDeadlineExceeded. timeout <= 0 (the
   // default) means no deadline.
-  std::future<Result<SearchResult>> Submit(
+  [[nodiscard]] std::future<Result<SearchResult>> Submit(
       Query query,
       std::chrono::steady_clock::duration timeout =
           std::chrono::steady_clock::duration::zero());
@@ -127,25 +126,26 @@ class BatchScheduler {
     std::promise<Result<SearchResult>> promise;
   };
 
-  void SchedulerLoop();
+  void SchedulerLoop() KDASH_EXCLUDES(mutex_);
   // Resolves a popped batch: expired requests get kDeadlineExceeded, the
   // rest run through the backend (whole-batch first, per-request on a
-  // batch-level error).
-  void RunBatch(std::vector<Request> batch);
+  // batch-level error). Runs with mutex_ released — the backend call is
+  // the long pole and must not block Submit.
+  void RunBatch(std::vector<Request> batch) KDASH_EXCLUDES(mutex_);
   // One backend call with the transient-retry policy (and the
   // "scheduler.dispatch" fault-injection site) applied.
-  Result<std::vector<SearchResult>> InvokeBackend(
-      std::span<const Query> queries);
+  [[nodiscard]] Result<std::vector<SearchResult>> InvokeBackend(
+      std::span<const Query> queries) KDASH_EXCLUDES(mutex_);
 
   Backend backend_;
   BatchSchedulerOptions options_;
 
-  mutable std::mutex mutex_;
-  std::mutex join_mutex_;  // serializes concurrent Shutdown joins
-  std::condition_variable wake_scheduler_;
-  std::deque<Request> queue_;
-  bool shutdown_ = false;
-  Stats stats_;
+  mutable Mutex mutex_;
+  Mutex join_mutex_;  // serializes concurrent Shutdown joins
+  CondVar wake_scheduler_;
+  std::deque<Request> queue_ KDASH_GUARDED_BY(mutex_);
+  bool shutdown_ KDASH_GUARDED_BY(mutex_) = false;
+  Stats stats_ KDASH_GUARDED_BY(mutex_);
 
   std::thread scheduler_;  // started last, so it sees a fully-built object
 };

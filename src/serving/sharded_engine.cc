@@ -12,17 +12,26 @@
 #include <utility>
 
 #include "common/fault.h"
+#include "common/mutex.h"
 #include "common/top_k.h"
 
 namespace kdash::serving {
 
-struct ShardedEngine::Counters {
+struct ShardedEngine::ControlBlock {
+  // Counters are atomics: fan-out workers bump them concurrently and a
+  // relaxed add is all the accounting needs.
   std::atomic<std::uint64_t> shard_failures{0};
   std::atomic<std::uint64_t> shard_retries{0};
   std::atomic<std::uint64_t> degraded_queries{0};
+
+  // The failure policy is multi-field, so it gets a real lock: FanOut
+  // snapshots it once per call and set_failure_policy replaces it whole —
+  // a policy change never tears across one query's shard attempts.
+  mutable Mutex policy_mutex;
+  ShardFailurePolicy policy KDASH_GUARDED_BY(policy_mutex);
 };
 
-ShardedEngine::ShardedEngine() : counters_(std::make_unique<Counters>()) {}
+ShardedEngine::ShardedEngine() : control_(std::make_unique<ControlBlock>()) {}
 ShardedEngine::ShardedEngine(ShardedEngine&&) noexcept = default;
 ShardedEngine& ShardedEngine::operator=(ShardedEngine&&) noexcept = default;
 ShardedEngine::~ShardedEngine() = default;
@@ -30,12 +39,22 @@ ShardedEngine::~ShardedEngine() = default;
 ShardedEngine::FailureStats ShardedEngine::failure_stats() const {
   FailureStats stats;
   stats.shard_failures =
-      counters_->shard_failures.load(std::memory_order_relaxed);
+      control_->shard_failures.load(std::memory_order_relaxed);
   stats.shard_retries =
-      counters_->shard_retries.load(std::memory_order_relaxed);
+      control_->shard_retries.load(std::memory_order_relaxed);
   stats.degraded_queries =
-      counters_->degraded_queries.load(std::memory_order_relaxed);
+      control_->degraded_queries.load(std::memory_order_relaxed);
   return stats;
+}
+
+ShardFailurePolicy ShardedEngine::failure_policy() const {
+  MutexLock lock(control_->policy_mutex);
+  return control_->policy;
+}
+
+void ShardedEngine::set_failure_policy(const ShardFailurePolicy& policy) {
+  MutexLock lock(control_->policy_mutex);
+  control_->policy = policy;
 }
 
 ThreadPool& ShardedEngine::Pool() const {
@@ -99,7 +118,7 @@ Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
 
   ShardedEngine sharded;
   sharded.num_nodes_ = graph.num_nodes();
-  sharded.policy_ = options.failure_policy;
+  sharded.set_failure_policy(options.failure_policy);
   // A dedicated fan-out pool only when the requested size differs from the
   // shared pool's default — same single-default-pool policy (and same
   // no-materialization size check) as core::SearcherPool.
@@ -260,9 +279,10 @@ Result<ShardedEngine> ShardedEngine::Open(const std::string& dir) {
 }
 
 Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
+                                  const ShardFailurePolicy& policy,
                                   SearchResult* out) const {
-  const bool retryable_mode = policy_.mode != ShardFailureMode::kFailFast;
-  auto backoff = policy_.initial_backoff;
+  const bool retryable_mode = policy.mode != ShardFailureMode::kFailFast;
+  auto backoff = policy.initial_backoff;
   for (int attempt = 0;; ++attempt) {
     Status status = Status::Ok();
     if (fault::AnyArmed()) {
@@ -281,16 +301,16 @@ Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
       }
       status = result.status();
     }
-    counters_->shard_failures.fetch_add(1, std::memory_order_relaxed);
+    control_->shard_failures.fetch_add(1, std::memory_order_relaxed);
     // An invalid query fails identically on every shard and on every
     // attempt — retrying or degrading would only mask the caller's bug.
     if (!retryable_mode || status.code() == StatusCode::kInvalidArgument ||
-        attempt >= policy_.max_retries) {
+        attempt >= policy.max_retries) {
       return status;
     }
-    counters_->shard_retries.fetch_add(1, std::memory_order_relaxed);
+    control_->shard_retries.fetch_add(1, std::memory_order_relaxed);
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
-    backoff = std::min(backoff * 2, policy_.max_backoff);
+    backoff = std::min(backoff * 2, policy.max_backoff);
   }
 }
 
@@ -299,6 +319,7 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
   const std::size_t num_queries = queries.size();
   const auto shard_count = shards_.size();
   const auto task_count = static_cast<Index>(num_queries * shard_count);
+  const ShardFailurePolicy policy = failure_policy();  // one snapshot per call
 
   // One flat (query × shard) loop: partial answers land in fixed slots, so
   // the merge below is deterministic regardless of which worker ran what.
@@ -310,7 +331,7 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
       const auto i = static_cast<std::size_t>(t);
       const std::size_t q = i / shard_count;
       const std::size_t s = i % shard_count;
-      statuses[i] = SearchShard(queries[q], s, &partials[i]);
+      statuses[i] = SearchShard(queries[q], s, policy, &partials[i]);
     }
   });
 
@@ -324,7 +345,7 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
   // Per-query failure domains: a shard failure poisons only its own query,
   // and only as far as the policy allows. Scanning shards in slot order
   // keeps the reported error deterministic regardless of fan-out timing.
-  const bool degrade = policy_.mode == ShardFailureMode::kDegrade;
+  const bool degrade = policy.mode == ShardFailureMode::kDegrade;
   std::vector<SearchResult> results(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
     int ok_shards = 0;
@@ -345,7 +366,7 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
       // fail-fast/retry-exhausted failures keep today's whole-call
       // contract.
       if (invalid || !degrade) return fail_query(q, *first_failure);
-      if (ok_shards < policy_.min_shards_ok) {
+      if (ok_shards < policy.min_shards_ok) {
         return fail_query(
             q, Status(first_failure->code(),
                       "degraded below min_shards_ok (" +
@@ -353,7 +374,7 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
                           std::to_string(shard_count) + " shards ok): " +
                           first_failure->message()));
       }
-      counters_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      control_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
     }
 
     // Exact merge over the surviving shards: each returned the exact top-k

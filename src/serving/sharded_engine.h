@@ -101,7 +101,7 @@ class ShardedEngine {
   // U⁻¹ payload at peak, while the full index is still alive). The
   // per-process U⁻¹ memory win applies to serving a saved sharded
   // directory, where each process opens only its shard files.
-  static Result<ShardedEngine> Build(const graph::Graph& graph,
+  [[nodiscard]] static Result<ShardedEngine> Build(const graph::Graph& graph,
                                      const ShardedEngineOptions& options = {});
 
   // Open a sharded index directory written by Save(): a MANIFEST naming the
@@ -109,10 +109,10 @@ class ShardedEngine {
   // kNotFound, malformed manifest = kDataLoss, version mismatch =
   // kFailedPrecondition, shards not partitioning [0, n) = kDataLoss). Shard
   // files load in parallel on the thread pool.
-  static Result<ShardedEngine> Open(const std::string& dir);
+  [[nodiscard]] static Result<ShardedEngine> Open(const std::string& dir);
 
   // Persist as a directory: MANIFEST plus one index file per shard.
-  Status Save(const std::string& dir) const;
+  [[nodiscard]] Status Save(const std::string& dir) const;
 
   // Fan one query out to every shard (in parallel) and merge the per-shard
   // top-k heaps into the exact global top-k. Same validation and Status
@@ -121,13 +121,13 @@ class ShardedEngine {
   // may cover only the surviving shards — check SearchResult::degraded();
   // the merge over survivors is still exact (bit-identical to an engine
   // restricted to their node ranges).
-  Result<SearchResult> Search(const Query& query) const;
+  [[nodiscard]] Result<SearchResult> Search(const Query& query) const;
 
   // Batch variant: queries × shards fan out as one flat parallel loop, so a
   // large batch keeps every worker busy even when P is small. results[i]
   // answers queries[i]; any invalid query fails the whole batch, like
   // Engine::SearchBatch.
-  Result<std::vector<SearchResult>> SearchBatch(
+  [[nodiscard]] Result<std::vector<SearchResult>> SearchBatch(
       std::span<const Query> queries) const;
 
   NodeId num_nodes() const { return num_nodes_; }
@@ -139,9 +139,11 @@ class ShardedEngine {
   NodeId shard_end(int s) const { return bounds_[static_cast<std::size_t>(s) + 1]; }
 
   // Failure policy. The setter is for engines opened from disk (Open takes
-  // no options); do not call it concurrently with Search/SearchBatch.
-  const ShardFailurePolicy& failure_policy() const { return policy_; }
-  void set_failure_policy(const ShardFailurePolicy& policy) { policy_ = policy; }
+  // no options). Both are thread-safe: the policy lives behind its own
+  // mutex and every fan-out snapshots it once at entry, so a concurrent
+  // set_failure_policy applies to whole queries, never to half a fan-out.
+  ShardFailurePolicy failure_policy() const;
+  void set_failure_policy(const ShardFailurePolicy& policy);
 
   // Cumulative failure-domain counters across every Search/SearchBatch on
   // this engine (thread-safe; snapshot semantics).
@@ -159,18 +161,24 @@ class ShardedEngine {
   ~ShardedEngine();
 
  private:
-  struct Counters;  // atomic FailureStats backing store (see .cc)
+  // Atomic FailureStats backing store plus the mutex-guarded failure
+  // policy (see .cc). Behind a unique_ptr: atomics and Mutex are neither
+  // movable nor copyable, but a ShardedEngine is movable.
+  struct ControlBlock;
 
   ShardedEngine();
 
   // Runs every (query, shard) pair on the serving pool, then merges shard
-  // partial top lists per query.
-  Result<std::vector<SearchResult>> FanOut(std::span<const Query> queries) const;
+  // partial top lists per query. Snapshots the failure policy once.
+  [[nodiscard]] Result<std::vector<SearchResult>> FanOut(
+      std::span<const Query> queries) const;
 
-  // One shard's attempt(s) at one query under the failure policy: evaluates
-  // the fault-injection sites, retries with bounded exponential backoff
-  // when the policy says so, and returns the last failure otherwise.
-  Status SearchShard(const Query& query, std::size_t s, SearchResult* out) const;
+  // One shard's attempt(s) at one query under the given policy snapshot:
+  // evaluates the fault-injection sites, retries with bounded exponential
+  // backoff when the policy says so, and returns the last failure
+  // otherwise.
+  [[nodiscard]] Status SearchShard(const Query& query, std::size_t s,
+                     const ShardFailurePolicy& policy, SearchResult* out) const;
 
   // The fan-out pool: owned when num_search_threads was set to a size that
   // differs from the shared pool's, the process-wide shared pool otherwise.
@@ -180,8 +188,7 @@ class ShardedEngine {
   std::vector<NodeId> bounds_;  // P + 1 fenceposts: shard s = [b[s], b[s+1])
   std::vector<Engine> shards_;
   std::unique_ptr<ThreadPool> owned_pool_;
-  ShardFailurePolicy policy_;
-  std::unique_ptr<Counters> counters_;  // pointer: atomics, but moves allowed
+  std::unique_ptr<ControlBlock> control_;
 };
 
 }  // namespace kdash::serving

@@ -1,0 +1,7 @@
+// kdash-lint-fixture: expect=detach
+#include <thread>
+
+void Fire() {
+  std::thread worker([] {});
+  worker.detach();
+}

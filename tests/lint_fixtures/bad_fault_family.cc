@@ -1,0 +1,8 @@
+// kdash-lint-fixture: expect=fault-site-registered
+#include <string>
+
+#include "common/fault.h"
+
+kdash::Status Fire(int shard) {
+  return kdash::fault::Check("scheduler.dispatch.q" + std::to_string(shard));
+}

@@ -1,0 +1,7 @@
+// kdash-lint-fixture: expect=fault-site-grammar
+#include "common/fault.h"
+
+kdash::Status Fire() {
+  KDASH_INJECT_FAULT("Index_IO.Read");
+  return kdash::Status::Ok();
+}

@@ -1,0 +1,7 @@
+// kdash-lint-fixture: expect=fault-site-registered
+#include "common/fault.h"
+
+kdash::Status Fire() {
+  KDASH_INJECT_FAULT("index_io.not_a_real_site");
+  return kdash::Status::Ok();
+}

@@ -1,0 +1,4 @@
+// kdash-lint-fixture: expect=naked-new
+struct Widget {};
+
+Widget* Fire() { return new Widget(); }

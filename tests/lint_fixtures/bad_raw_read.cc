@@ -1,0 +1,6 @@
+// kdash-lint-fixture: expect=raw-read
+#include <istream>
+
+void Fire(std::istream& in, char* buffer) {
+  in.read(buffer, 16);
+}

@@ -1,0 +1,15 @@
+// kdash-lint-fixture: expect=clean
+// A file the linter should pass untouched: registered fault site,
+// make_unique ownership, joined thread.
+#include <memory>
+#include <thread>
+
+#include "common/fault.h"
+
+kdash::Status Clean() {
+  KDASH_INJECT_FAULT("index_io.read");
+  auto owned = std::make_unique<int>(7);
+  std::thread worker([] {});
+  worker.join();
+  return kdash::Status::Ok();
+}

@@ -1,0 +1,9 @@
+// kdash-lint-fixture: expect=clean
+#include <thread>
+
+void Waived() {
+  std::thread worker([] {});
+  // kdash-lint: allow(detach) fixture: the worker touches nothing with
+  // a lifetime shorter than the process.
+  worker.detach();
+}

@@ -1,0 +1,9 @@
+// kdash-lint-fixture: expect=clean
+// Comments and strings mentioning new Widget(), worker.detach(), or
+// in.read(buffer, n) must not fire: the linter strips them first.
+#include <string>
+
+/* block comment: also not code — new int[4], stream.read(p, n) */
+const char* Banner() {
+  return "calls new Widget() and thread.detach() at runtime";
+}

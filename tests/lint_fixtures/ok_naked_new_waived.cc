@@ -1,0 +1,8 @@
+// kdash-lint-fixture: expect=clean
+struct Widget {};
+
+Widget* Waived() {
+  // kdash-lint: allow(naked-new) fixture: intentionally leaked singleton.
+  static Widget* w = new Widget();
+  return w;
+}

@@ -1,0 +1,27 @@
+// Negative compile test — this file must NOT compile.
+//
+// Proves the error discipline is load-bearing: Status is [[nodiscard]]
+// class-wide and the build runs -Werror=unused-result, so silently
+// dropping a Status is a build break, not a code-review hope. The driver
+// (tests/static_analysis_test.cmake) compiles this file and asserts the
+// compiler rejects it with a nodiscard/unused-result diagnostic.
+#include "common/status.h"
+
+namespace {
+
+kdash::Status Mutate() { return kdash::Status::Internal("boom"); }
+
+void SanctionedDrop() {
+  // The explicit sink compiles — this line is the control group.
+  Mutate().IgnoreError();
+}
+
+void SilentDrop() {
+  SanctionedDrop();
+  Mutate();  // ERROR: ignoring a [[nodiscard]] Status
+}
+
+// Anchor so -Wunused-function noise cannot mask the diagnostic under test.
+void* anchor = reinterpret_cast<void*>(&SilentDrop);
+
+}  // namespace

@@ -1,0 +1,29 @@
+// Negative compile test — this file must NOT compile under Clang.
+//
+// Proves the thread-safety annotations are load-bearing: a
+// KDASH_GUARDED_BY field touched without its mutex must be rejected by
+// -Werror=thread-safety. Under GCC the annotations compile to nothing,
+// so the driver (tests/static_analysis_test.cmake) reports SKIPPED
+// instead of running the check.
+#include "common/mutex.h"
+
+namespace {
+
+struct Account {
+  kdash::Mutex mutex;
+  int balance KDASH_GUARDED_BY(mutex) = 0;
+};
+
+int LockedRead(Account& account) {
+  // The disciplined access compiles — this function is the control group.
+  kdash::MutexLock lock(account.mutex);
+  return account.balance;
+}
+
+int UnlockedRead(Account& account) {
+  return account.balance + LockedRead(account);  // ERROR: requires mutex
+}
+
+void* anchor = reinterpret_cast<void*>(&UnlockedRead);
+
+}  // namespace

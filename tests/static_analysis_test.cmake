@@ -1,0 +1,48 @@
+# Driver for the negative compile tests (run via `cmake -P`).
+#
+# A negative compile test inverts the usual contract: the source file is
+# EXPECTED to fail compilation, and the failure must carry the diagnostic
+# the analysis layer exists to produce. Passing consists of (1) a non-zero
+# compiler exit and (2) the stderr matching EXPECT. A file that compiles
+# cleanly means the gate it documents has silently stopped gating — that
+# is the regression this test exists to catch.
+#
+# Inputs (all -D):
+#   CXX           compiler executable
+#   COMPILER_ID   CMAKE_CXX_COMPILER_ID of that compiler
+#   SOURCE        the .cc file that must not compile
+#   FLAGS         space-separated compile flags
+#   EXPECT        regex the compiler's stderr must match
+#   OUT           object-file path (never actually produced)
+#   REQUIRE_CLANG optional: "1" = the diagnostic only exists under Clang's
+#                 thread-safety analysis; print SKIPPED elsewhere (ctest
+#                 matches it via SKIP_REGULAR_EXPRESSION)
+
+if(REQUIRE_CLANG AND NOT COMPILER_ID MATCHES "Clang")
+  message(STATUS "SKIPPED: ${SOURCE} needs Clang (-Wthread-safety); "
+                 "compiler is ${COMPILER_ID}")
+  return()
+endif()
+
+separate_arguments(FLAG_LIST UNIX_COMMAND "${FLAGS}")
+execute_process(
+  COMMAND ${CXX} ${FLAG_LIST} -c ${SOURCE} -o ${OUT}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE compile_stdout
+  ERROR_VARIABLE compile_stderr)
+
+if(exit_code EQUAL 0)
+  message(FATAL_ERROR
+    "${SOURCE} compiled cleanly, but it must be rejected — the static "
+    "gate it exercises (expected diagnostic: '${EXPECT}') is no longer "
+    "enforced")
+endif()
+
+if(NOT compile_stderr MATCHES "${EXPECT}")
+  message(FATAL_ERROR
+    "${SOURCE} failed to compile, but for the wrong reason.\n"
+    "Expected stderr to match: ${EXPECT}\n"
+    "Actual stderr:\n${compile_stderr}")
+endif()
+
+message(STATUS "OK: ${SOURCE} rejected with the expected diagnostic")

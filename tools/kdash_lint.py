@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""kdash_lint — project-specific static checks for the kdash tree.
+
+clang-tidy and -Wthread-safety know nothing about this project's own
+contracts; these rules encode the ones that have actually bitten or
+nearly bitten:
+
+  fault-site-grammar     Every site literal passed to KDASH_INJECT_FAULT /
+                         fault::Check matches the KDASH_FAULTS grammar
+                         (lowercase dot-separated [a-z][a-z0-9_]* segments),
+                         so every injection point is addressable from a
+                         KDASH_FAULTS environment spec.
+  fault-site-registered  Every such literal is listed in kKnownFaultSites
+                         (src/common/fault.h). A literal followed by `+`
+                         (runtime suffix, e.g. per-shard names) must match
+                         a registry family entry ending in `<N>`.
+  fault-site-unused      Every kKnownFaultSites entry is evaluated by at
+                         least one injection point — the registry and the
+                         code cannot drift apart in either direction.
+  detach                 No std::thread::detach(): a detached thread that
+                         touches anything with a lifetime is a shutdown
+                         use-after-free by construction.
+  naked-new              No naked `new`: ownership goes through
+                         make_unique/make_shared. (Intentional leaks for
+                         static-destruction ordering are waived, loudly.)
+  raw-read               istream::read() appears only inside the checked
+                         Reader helpers of src/core/index_io.cc — every
+                         other byte off a stream goes through a helper
+                         that bounds-checks the length first.
+
+Waivers: a violating line is allowed when it, or one of the two lines
+above it, carries
+
+    // kdash-lint: allow(<rule>) <rationale>
+
+The rationale is mandatory in spirit: a waiver with no explanation will
+not survive review, and the grep for `kdash-lint: allow` is the audit
+trail of every exception in the tree.
+
+Usage:
+    python3 tools/kdash_lint.py [--root REPO_ROOT]
+    python3 tools/kdash_lint.py --selftest   # run the fixture suite
+
+Exit status: 0 = clean, 1 = violations (or selftest failures), 2 = usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, NamedTuple, Sequence, Set, Tuple
+
+SITE_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+WAIVER = re.compile(r"kdash-lint:\s*allow\(([a-z-]+)\)(\s*\S)?")
+REGISTRY = re.compile(r"kKnownFaultSites\[\]\s*=\s*\{(.*?)\};", re.S)
+FAULT_CALL = re.compile(
+    r'(?:KDASH_INJECT_FAULT|fault::Check)\s*\(\s*"([^"]*)"\s*([+)])')
+DETACH = re.compile(r"\.detach\s*\(\s*\)")
+NAKED_NEW = re.compile(r"\bnew\b")
+RAW_READ = re.compile(r"\.read\s*\(")
+
+# The one sanctioned home of raw istream::read calls.
+READER_FILE = "index_io.cc"
+
+
+class Violation(NamedTuple):
+    path: pathlib.Path
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str, strip_strings: bool = False) -> str:
+    """Blank out comments (and optionally string/char literals), keeping
+    every newline so line numbers survive."""
+    out: List[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            literal = [ch]
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    literal.append(text[i:i + 2])
+                    i += 2
+                else:
+                    literal.append(text[i])
+                    i += 1
+            literal.append(quote)
+            i += 1
+            out.append(f'{quote}{quote}' if strip_strings else
+                       "".join(literal))
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def waived(lines: Sequence[str], line: int, rule: str) -> bool:
+    """True when `line` (1-based) or one of the two lines above it carries
+    a matching waiver comment."""
+    for candidate in range(max(1, line - 2), line + 1):
+        m = WAIVER.search(lines[candidate - 1])
+        if m and m.group(1) == rule:
+            return True
+    return False
+
+
+def parse_registry(fault_h: str) -> List[str]:
+    m = REGISTRY.search(strip_comments(fault_h))
+    if m is None:
+        raise SystemExit(
+            "kdash_lint: cannot find kKnownFaultSites in src/common/fault.h")
+    return re.findall(r'"([^"]+)"', m.group(1))
+
+
+def check_registry(entries: Sequence[str],
+                   fault_h_path: pathlib.Path) -> List[Violation]:
+    violations = []
+    seen: Set[str] = set()
+    for entry in entries:
+        if entry in seen:
+            violations.append(Violation(
+                fault_h_path, 1, "fault-site-registered",
+                f'registry entry "{entry}" is listed more than once'))
+        seen.add(entry)
+        bare = entry.replace("<N>", "n")
+        if not SITE_GRAMMAR.match(bare):
+            violations.append(Violation(
+                fault_h_path, 1, "fault-site-grammar",
+                f'registry entry "{entry}" does not match the site grammar'))
+        if sorted(entries) != list(entries):
+            pass  # ordering is style, reported once below
+    if sorted(entries) != list(entries):
+        violations.append(Violation(
+            fault_h_path, 1, "fault-site-registered",
+            "kKnownFaultSites must stay sorted"))
+    return violations
+
+
+def lint_file(path: pathlib.Path, registry: Sequence[str],
+              used_sites: Set[str]) -> List[Violation]:
+    text = path.read_text()
+    lines = text.splitlines()
+    code = strip_comments(text)              # strings kept: site literals
+    bare = strip_comments(text, strip_strings=True)  # for `new` tokens
+    violations: List[Violation] = []
+
+    exact = {e for e in registry if "<N>" not in e}
+    families = [e[:-len("<N>")] for e in registry if e.endswith("<N>")]
+
+    for m in FAULT_CALL.finditer(code):
+        site, terminator = m.group(1), m.group(2)
+        line = line_of(code, m.start())
+        if terminator == ")":
+            if not SITE_GRAMMAR.match(site):
+                violations.append(Violation(
+                    path, line, "fault-site-grammar",
+                    f'site "{site}" does not match '
+                    "[a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*"))
+            elif site not in exact:
+                violations.append(Violation(
+                    path, line, "fault-site-registered",
+                    f'site "{site}" is not in kKnownFaultSites '
+                    "(src/common/fault.h)"))
+            else:
+                used_sites.add(site)
+        else:  # literal + runtime suffix: must name a registered family
+            family = next((f for f in families if f == site), None)
+            if family is None:
+                violations.append(Violation(
+                    path, line, "fault-site-registered",
+                    f'parameterized site "{site}<runtime>" has no '
+                    f'matching "{site}<N>" family in kKnownFaultSites'))
+            else:
+                used_sites.add(family + "<N>")
+
+    for m in DETACH.finditer(bare):
+        line = line_of(bare, m.start())
+        if not waived(lines, line, "detach"):
+            violations.append(Violation(
+                path, line, "detach",
+                "std::thread::detach() — join it, or waive with a "
+                "lifetime argument"))
+
+    for m in NAKED_NEW.finditer(bare):
+        line = line_of(bare, m.start())
+        if not waived(lines, line, "naked-new"):
+            violations.append(Violation(
+                path, line, "naked-new",
+                "naked `new` — use std::make_unique/make_shared"))
+
+    reader_span: Tuple[int, int] = (-1, -1)
+    if path.name == READER_FILE:
+        start = next((i + 1 for i, l in enumerate(lines)
+                      if re.match(r"\s*class Reader\b", l)), None)
+        if start is not None:
+            end = next((i + 1 for i in range(start, len(lines))
+                        if lines[i].startswith("};")), len(lines))
+            reader_span = (start, end)
+    for m in RAW_READ.finditer(bare):
+        line = line_of(bare, m.start())
+        if reader_span[0] <= line <= reader_span[1]:
+            continue
+        if not waived(lines, line, "raw-read"):
+            violations.append(Violation(
+                path, line, "raw-read",
+                "raw istream::read — go through the checked Reader "
+                "helpers in src/core/index_io.cc"))
+
+    return violations
+
+
+def gather(root: pathlib.Path) -> List[pathlib.Path]:
+    files: List[pathlib.Path] = []
+    for sub, patterns in (("src", ("*.h", "*.cc")),
+                          ("tools", ("*.h", "*.cc")),
+                          ("examples", ("*.cpp",)),
+                          ("bench", ("*.h", "*.cc"))):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for pattern in patterns:
+            files.extend(sorted(base.rglob(pattern)))
+    return files
+
+
+def run(root: pathlib.Path) -> int:
+    fault_h = root / "src" / "common" / "fault.h"
+    registry = parse_registry(fault_h.read_text())
+    violations = check_registry(registry, fault_h)
+    used_sites: Set[str] = set()
+    for path in gather(root):
+        violations.extend(lint_file(path, registry, used_sites))
+    for entry in registry:
+        if entry not in used_sites:
+            violations.append(Violation(
+                fault_h, 1, "fault-site-unused",
+                f'registry entry "{entry}" is evaluated by no injection '
+                "point — remove it or add the site"))
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"kdash_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+FIXTURE_HEADER = re.compile(r"//\s*kdash-lint-fixture:\s*expect=([a-z,-]+)")
+
+
+def selftest(root: pathlib.Path) -> int:
+    """Run every fixture under tests/lint_fixtures/ and compare the set of
+    fired rules against the fixture's declared expectation."""
+    fixture_dir = root / "tests" / "lint_fixtures"
+    fixtures = sorted(fixture_dir.glob("*.cc"))
+    if not fixtures:
+        print(f"kdash_lint: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 1
+    registry = parse_registry((root / "src" / "common" / "fault.h")
+                              .read_text())
+    failures = 0
+    for fixture in fixtures:
+        header = FIXTURE_HEADER.search(fixture.read_text())
+        if header is None:
+            print(f"FAIL {fixture.name}: missing "
+                  "`// kdash-lint-fixture: expect=...` header",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        expected = set(header.group(1).split(",")) - {"clean"}
+        got = {v.rule for v in lint_file(fixture, registry, set())}
+        if got == expected:
+            print(f"ok   {fixture.name}: {sorted(got) or ['clean']}")
+        else:
+            print(f"FAIL {fixture.name}: expected {sorted(expected)}, "
+                  f"got {sorted(got)}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"kdash_lint selftest: {failures} fixture(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"kdash_lint selftest: {len(fixtures)} fixtures passed")
+    return 0
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture suite instead of linting")
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest(args.root)
+    return run(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
