@@ -8,6 +8,7 @@
 #include "common/parallel.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 // Stamped by CMake at configure time (git rev-parse --short HEAD); builds
 // outside a git checkout fall back to "unknown".
@@ -130,7 +131,8 @@ void PrintJsonRecords(const std::string& bench_name,
     if (i > 0) out += ",";
     out += records[i].str();
   }
-  out += "]}";
+  out += "],\"metrics\":" + obs::MetricRegistry::Global().MetricsArrayJson();
+  out += "}";
   std::printf("%s\n", out.c_str());
 }
 

@@ -59,11 +59,16 @@ class JsonObject {
 };
 
 // Prints {"bench":<name>,"scale":<BenchScale()>,"git_sha":...,
-// "num_threads":...,"records":[...]} on one line, making bench output
-// grep-able between human-readable tables. git_sha is the configure-time
-// HEAD (so cross-PR trajectories are attributable to a revision) and
-// num_threads is the process-default pool size (KDASH_NUM_THREADS or
-// hardware concurrency) the run executed under.
+// "num_threads":...,"records":[...],"metrics":[...]} on one line, making
+// bench output grep-able between human-readable tables. git_sha is the
+// configure-time HEAD (so cross-PR trajectories are attributable to a
+// revision) and num_threads is the process-default pool size
+// (KDASH_NUM_THREADS or hardware concurrency) the run executed under.
+// "metrics" is the process metric registry's array snapshot
+// (obs::MetricRegistry::MetricsArrayJson) at print time — every latency
+// histogram the instrumented serving path recorded during the run, which
+// is what tools/perf_gate.py's latency mode gates on (p99 of
+// engine.search_us and friends).
 void PrintJsonRecords(const std::string& bench_name,
                       const std::vector<JsonObject>& records);
 

@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/mutex.h"
+#include "obs/metrics.h"
 
 namespace kdash::fault {
 
@@ -124,6 +125,14 @@ Status Evaluate(std::string_view site) {
       break;
     }
   }
+  // Export the fire through the metric registry too: per-site SiteStats die
+  // with Disarm, but a chaos run's post-mortem reads the process-cumulative
+  // "fault.fired.<site>" counters out of the same stats snapshot as every
+  // other metric. Fires are rare and already paid for a registry lookup's
+  // worth of work, so resolving by name here is fine.
+  obs::MetricRegistry::Global()
+      .GetCounter("fault.fired." + std::string(site))
+      .Add();
   return Status(spec.code, "injected fault at '" + std::string(site) +
                                "' (hit #" + std::to_string(n) + ")");
 }

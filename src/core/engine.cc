@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "common/mutex.h"
+#include "common/timer.h"
 #include "core/batch.h"
 #include "core/dynamic.h"
+#include "obs/metrics.h"
 
 namespace kdash {
 
@@ -43,15 +45,29 @@ struct Engine::Impl {
       KDASH_PT_GUARDED_BY(dynamic_mutex);
   mutable Mutex dynamic_mutex;
 
+  // Registry handles resolved once per engine — metric lookup takes a lock
+  // and Search must not. The counters make searcher-checkout contention
+  // visible: a steady created:reused ratio near zero means the idle list is
+  // absorbing concurrency; climbing `created` under load means more threads
+  // than ever-built searchers are searching at once.
+  obs::Histogram* search_us =
+      &obs::MetricRegistry::Global().GetHistogram("engine.search_us");
+  obs::Counter* searcher_created =
+      &obs::MetricRegistry::Global().GetCounter("engine.searcher_created");
+  obs::Counter* searcher_reused =
+      &obs::MetricRegistry::Global().GetCounter("engine.searcher_reused");
+
   std::unique_ptr<core::KDashSearcher> AcquireSearcher() const {
     {
       MutexLock lock(searcher_mutex);
       if (!idle_searchers.empty()) {
         auto searcher = std::move(idle_searchers.back());
         idle_searchers.pop_back();
+        searcher_reused->Add();
         return searcher;
       }
     }
+    searcher_created->Add();
     return std::make_unique<core::KDashSearcher>(index.get());
   }
 
@@ -250,13 +266,18 @@ Status Engine::Save(const std::string& path) const {
 Result<SearchResult> Engine::Search(const Query& query) const {
   KDASH_RETURN_IF_ERROR(
       ValidateQuery(query, impl_->num_nodes, impl_->dynamic != nullptr));
+  obs::ScopedSpan span(query.trace.get(), "engine.search");
+  WallTimer timer;
   if (impl_->dynamic != nullptr) {
     MutexLock lock(impl_->dynamic_mutex);
-    return RunOnDynamic(*impl_->dynamic, query);
+    SearchResult result = RunOnDynamic(*impl_->dynamic, query);
+    impl_->search_us->Record(static_cast<std::uint64_t>(timer.Micros()));
+    return result;
   }
   auto searcher = impl_->AcquireSearcher();
   SearchResult result = RunOnSearcher(*searcher, query);
   impl_->ReleaseSearcher(std::move(searcher));
+  impl_->search_us->Record(static_cast<std::uint64_t>(timer.Micros()));
   return result;
 }
 
@@ -275,14 +296,20 @@ Result<std::vector<SearchResult>> Engine::SearchBatch(
   if (impl_->dynamic != nullptr) {
     MutexLock lock(impl_->dynamic_mutex);
     for (std::size_t i = 0; i < queries.size(); ++i) {
+      obs::ScopedSpan span(queries[i].trace.get(), "engine.search");
+      WallTimer timer;
       results[i] = RunOnDynamic(*impl_->dynamic, queries[i]);
+      impl_->search_us->Record(static_cast<std::uint64_t>(timer.Micros()));
     }
     return results;
   }
   MutexLock lock(impl_->batch_mutex);
   impl_->BatchPool().ForEach(
       queries.size(), [&](core::KDashSearcher& searcher, std::size_t i) {
+        obs::ScopedSpan span(queries[i].trace.get(), "engine.search");
+        WallTimer timer;
         results[i] = RunOnSearcher(searcher, queries[i]);
+        impl_->search_us->Record(static_cast<std::uint64_t>(timer.Micros()));
       });
   return results;
 }

@@ -38,6 +38,7 @@
 #include "common/types.h"
 #include "core/kdash_index.h"
 #include "core/kdash_searcher.h"
+#include "obs/trace.h"
 
 namespace kdash {
 
@@ -82,6 +83,14 @@ struct Query {
   // then not guaranteed exact).
   bool use_pruning = true;
   NodeId root_override = kInvalidNode;
+
+  // Optional per-query trace sink (see obs/trace.h): when set, every layer
+  // the query passes through — scheduler queue, engine search, per-shard
+  // fan-out, merge — stamps a timing span into it. Never affects results,
+  // and never participates in query identity: the batch scheduler coalesces
+  // queries that differ only in `trace` (the duplicate's trace then carries
+  // its own queue span but the group head's compute spans).
+  std::shared_ptr<obs::TraceContext> trace;
 
   static Query Single(NodeId source, std::size_t k = 10) {
     Query query;

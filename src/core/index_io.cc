@@ -15,7 +15,9 @@
 
 #include "common/fault.h"
 #include "common/status.h"
+#include "common/timer.h"
 #include "core/kdash_index.h"
+#include "obs/metrics.h"
 
 namespace kdash::core {
 
@@ -220,6 +222,11 @@ Status CheckSize(const char* what, std::size_t got, std::size_t want) {
 }  // namespace
 
 Status KDashIndex::Save(std::ostream& out) const {
+  // Function-local statics: Save/Load are cold (startup, checkpoints), but
+  // resolving once still keeps the registry lock off repeated saves.
+  static obs::Histogram& save_us =
+      obs::MetricRegistry::Global().GetHistogram("index_io.save_us");
+  WallTimer timer;
   KDASH_INJECT_FAULT("index_io.write");
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
@@ -246,10 +253,26 @@ Status KDashIndex::Save(std::ostream& out) const {
   WritePod(out, stats_);
   out.flush();
   if (!out.good()) return Status::DataLoss("index write failed");
+  save_us.Record(static_cast<std::uint64_t>(timer.Micros()));
   return Status::Ok();
 }
 
 Result<KDashIndex> KDashIndex::Load(std::istream& in) {
+  static obs::Histogram& load_us =
+      obs::MetricRegistry::Global().GetHistogram("index_io.load_us");
+  static obs::Counter& load_errors =
+      obs::MetricRegistry::Global().GetCounter("index_io.load_errors");
+  WallTimer timer;
+  Result<KDashIndex> loaded = LoadStream(in);
+  if (loaded.ok()) {
+    load_us.Record(static_cast<std::uint64_t>(timer.Micros()));
+  } else {
+    load_errors.Add();
+  }
+  return loaded;
+}
+
+Result<KDashIndex> KDashIndex::LoadStream(std::istream& in) {
   Reader reader(in);
 
   char magic[4] = {};
@@ -384,6 +407,7 @@ Result<KDashIndex> KDashIndex::LoadFile(const std::string& path) {
   KDASH_INJECT_FAULT("index_io.open");
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
+    obs::MetricRegistry::Global().GetCounter("index_io.load_errors").Add();
     return Status::NotFound("cannot open " + path);
   }
   return Load(in);

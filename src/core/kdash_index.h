@@ -139,6 +139,10 @@ class KDashIndex {
  private:
   KDashIndex() = default;
 
+  // Load() minus the IO metrics, so the timing/error accounting wraps every
+  // early return of the deserializer exactly once.
+  [[nodiscard]] static Result<KDashIndex> LoadStream(std::istream& in);
+
   // The immutable per-query machinery every shard of an index needs in
   // full: estimator tables, permutations, L⁻¹, and the BFS adjacency.
   // Restrict() aliases this block instead of copying it, so in-process

@@ -1,0 +1,47 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace kdash::obs {
+
+void TraceContext::Record(std::string_view stage, std::uint64_t start_us,
+                          std::uint64_t duration_us, int index) {
+  Span span;
+  span.stage = std::string(stage);
+  span.index = index;
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  MutexLock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceContext::spans() const {
+  MutexLock lock(mutex_);
+  return spans_;
+}
+
+std::string TraceContext::ToJson() const {
+  std::vector<Span> sorted = spans();
+  std::sort(sorted.begin(), sorted.end(), [](const Span& a, const Span& b) {
+    return std::tie(a.start_us, a.stage, a.index) <
+           std::tie(b.start_us, b.stage, b.index);
+  });
+  std::string out = "[";
+  bool first = true;
+  for (const Span& span : sorted) {
+    if (!first) out.append(",");
+    first = false;
+    out.append("{\"stage\":\"").append(span.stage).append("\"");
+    if (span.index >= 0) {
+      out.append(",\"i\":").append(std::to_string(span.index));
+    }
+    out.append(",\"start_us\":").append(std::to_string(span.start_us));
+    out.append(",\"dur_us\":").append(std::to_string(span.duration_us));
+    out.append("}");
+  }
+  out.append("]");
+  return out;
+}
+
+}  // namespace kdash::obs

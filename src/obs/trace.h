@@ -1,0 +1,103 @@
+// kdash::obs — per-query stage tracing.
+//
+// Aggregate histograms say *that* p99 moved; a trace says *where* one
+// query's time went: admission wait, batch dispatch, each shard's search,
+// the cross-shard merge. A TraceContext is an optional per-query sink —
+// code paths stamp ScopedSpans into it when a query carries one and do
+// nothing (one null check) when it does not, so tracing costs the
+// untraced hot path essentially nothing.
+//
+//   auto trace = std::make_shared<obs::TraceContext>();
+//   Query query = Query::Single(5, 10);
+//   query.trace = trace;
+//   auto result = engine.Search(query);
+//   std::string spans = trace->ToJson();
+//
+// Timestamps are microseconds relative to the context's creation (one
+// steady_clock epoch per query), so a trace is self-contained and two
+// traces never need clock reconciliation. Span recording is thread-safe —
+// sharded fan-out stamps spans from pool workers concurrently.
+#ifndef KDASH_OBS_TRACE_H_
+#define KDASH_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+
+namespace kdash::obs {
+
+struct Span {
+  std::string stage;            // e.g. "scheduler.queue", "engine.search"
+  int index = -1;               // shard number for per-shard spans; -1 = none
+  std::uint64_t start_us = 0;   // offset from TraceContext creation
+  std::uint64_t duration_us = 0;
+};
+
+class TraceContext {
+ public:
+  TraceContext() : epoch_(std::chrono::steady_clock::now()) {}
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  // Microseconds since this context was created.
+  std::uint64_t ElapsedUs() const {
+    const auto delta = std::chrono::steady_clock::now() - epoch_;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(delta).count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+  }
+
+  void Record(std::string_view stage, std::uint64_t start_us,
+              std::uint64_t duration_us, int index = -1)
+      KDASH_EXCLUDES(mutex_);
+
+  std::vector<Span> spans() const KDASH_EXCLUDES(mutex_);
+
+  // `[{"stage":...,"start_us":...,"dur_us":...}, ...]` with `"i"` added for
+  // indexed (per-shard) spans. Spans are sorted by (start_us, stage, index)
+  // so concurrent recording (shard fan-out) yields a stable rendering for a
+  // given set of measured times.
+  std::string ToJson() const KDASH_EXCLUDES(mutex_);
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<Span> spans_ KDASH_GUARDED_BY(mutex_);
+};
+
+// RAII span: captures the start offset at construction, records on Stop()
+// or destruction. A null context makes every operation a no-op, so call
+// sites need no branches. `stage` must outlive the span — pass literals.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, std::string_view stage, int index = -1)
+      : ctx_(ctx),
+        stage_(stage),
+        index_(index),
+        start_us_(ctx != nullptr ? ctx->ElapsedUs() : 0) {}
+
+  ~ScopedSpan() { Stop(); }
+
+  void Stop() {
+    if (ctx_ == nullptr) return;
+    ctx_->Record(stage_, start_us_, ctx_->ElapsedUs() - start_us_, index_);
+    ctx_ = nullptr;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceContext* ctx_;
+  std::string_view stage_;
+  int index_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace kdash::obs
+
+#endif  // KDASH_OBS_TRACE_H_

@@ -37,9 +37,30 @@ int CompareQueries(const Query& a, const Query& b) {
 
 }  // namespace
 
+BatchScheduler::Metrics BatchScheduler::ResolveMetrics() {
+  auto& registry = obs::MetricRegistry::Global();
+  BatchScheduler::Metrics metrics;
+  metrics.submitted = &registry.GetCounter("scheduler.submitted");
+  metrics.batches_dispatched =
+      &registry.GetCounter("scheduler.batches_dispatched");
+  metrics.served = &registry.GetCounter("scheduler.served");
+  metrics.coalesced = &registry.GetCounter("scheduler.coalesced");
+  metrics.deadline_expired = &registry.GetCounter("scheduler.deadline_expired");
+  metrics.rejected = &registry.GetCounter("scheduler.rejected");
+  metrics.shed = &registry.GetCounter("scheduler.shed");
+  metrics.retried = &registry.GetCounter("scheduler.retried");
+  metrics.degraded = &registry.GetCounter("scheduler.degraded");
+  metrics.queue_depth = &registry.GetGauge("scheduler.queue_depth");
+  metrics.batch_size = &registry.GetHistogram("scheduler.batch_size");
+  metrics.batch_wait_us = &registry.GetHistogram("scheduler.batch_wait_us");
+  return metrics;
+}
+
 BatchScheduler::BatchScheduler(Backend backend,
                                const BatchSchedulerOptions& options)
-    : backend_(std::move(backend)), options_(options) {
+    : backend_(std::move(backend)),
+      options_(options),
+      metrics_(ResolveMetrics()) {
   KDASH_CHECK(backend_ != nullptr);
   KDASH_CHECK(options_.max_batch_size >= 1);
   KDASH_CHECK(options_.max_wait.count() >= 0);
@@ -58,11 +79,15 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
   request.deadline = timeout.count() > 0 ? request.arrival + timeout
                                          : Clock::time_point::max();
   std::future<Result<SearchResult>> future = request.promise.get_future();
+  if (request.query.trace != nullptr) {
+    request.trace_submit_us = request.query.trace->ElapsedUs();
+  }
   bool wake = false;
   {
     MutexLock lock(mutex_);
     if (shutdown_) {
       ++stats_.rejected;
+      metrics_.rejected->Add();
       request.promise.set_value(Status::Unavailable(
           "batch scheduler is shut down and not accepting requests"));
       return future;
@@ -73,13 +98,16 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
       // tells the client to back off, instead of letting overload show up
       // as unbounded latency (and memory) growth.
       ++stats_.shed;
+      metrics_.shed->Add();
       request.promise.set_value(Status::ResourceExhausted(
           "scheduler queue full (" + std::to_string(queue_.size()) +
           " pending); request shed — retry with backoff"));
       return future;
     }
     ++stats_.submitted;
+    metrics_.submitted->Add();
     queue_.push_back(std::move(request));
+    metrics_.queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
     // Wake the scheduler only when this submission changes what it can do:
     // the queue just became non-empty (it may be idle-waiting) or just
     // filled a batch (it may be waiting out max_wait). Intermediate
@@ -115,6 +143,8 @@ void BatchScheduler::SchedulerLoop() {
       queue_.pop_front();
     }
     ++stats_.batches_dispatched;
+    metrics_.batches_dispatched->Add();
+    metrics_.queue_depth->Set(static_cast<std::int64_t>(queue_.size()));
 
     lock.Unlock();
     RunBatch(std::move(batch));
@@ -132,6 +162,26 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
   std::vector<Request> overdue;
   for (Request& request : batch) {
     (request.deadline <= now ? overdue : live).push_back(std::move(request));
+  }
+
+  // Dispatch-time accounting: the live batch size and each request's queue
+  // wait. Traced requests additionally get their "scheduler.queue" span
+  // stamped here, before coalescing moves the group head's query away.
+  metrics_.batch_size->Record(live.size());
+  for (const Request& request : live) {
+    const auto wait_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              request.arrival)
+            .count();
+    metrics_.batch_wait_us->Record(
+        wait_us > 0 ? static_cast<std::uint64_t>(wait_us) : 0);
+    if (request.query.trace != nullptr) {
+      const std::uint64_t end_us = request.query.trace->ElapsedUs();
+      request.query.trace->Record("scheduler.queue", request.trace_submit_us,
+                                  end_us > request.trace_submit_us
+                                      ? end_us - request.trace_submit_us
+                                      : 0);
+    }
   }
 
   std::uint64_t coalesced = 0;
@@ -212,6 +262,10 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
     stats_.coalesced += coalesced;
     stats_.degraded += degraded;
   }
+  metrics_.deadline_expired->Add(overdue.size());
+  metrics_.served->Add(live.size());
+  metrics_.coalesced->Add(coalesced);
+  metrics_.degraded->Add(degraded);
   for (Request& request : overdue) {
     request.promise.set_value(Status::DeadlineExceeded(
         "request expired after waiting " +
@@ -243,6 +297,7 @@ Result<std::vector<SearchResult>> BatchScheduler::InvokeBackend(
       MutexLock lock(mutex_);
       ++stats_.retried;
     }
+    metrics_.retried->Add();
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     backoff = std::min(backoff * 2, options_.max_retry_backoff);
   }
@@ -262,6 +317,25 @@ void BatchScheduler::Shutdown() {
 BatchScheduler::Stats BatchScheduler::stats() const {
   MutexLock lock(mutex_);
   return stats_;
+}
+
+std::string BatchScheduler::Stats::ToJson() const {
+  std::string out = "{";
+  const auto field = [&out](const char* key, std::uint64_t value) {
+    if (out.size() > 1) out.append(",");
+    out.append("\"").append(key).append("\":").append(std::to_string(value));
+  };
+  field("submitted", submitted);
+  field("batches_dispatched", batches_dispatched);
+  field("served", served);
+  field("coalesced", coalesced);
+  field("deadline_expired", deadline_expired);
+  field("rejected", rejected);
+  field("shed", shed);
+  field("retried", retried);
+  field("degraded", degraded);
+  out.append("}");
+  return out;
 }
 
 }  // namespace kdash::serving

@@ -47,9 +47,12 @@
 #include <thread>
 #include <vector>
 
+#include <string>
+
 #include "common/mutex.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 
 namespace kdash::serving {
 
@@ -115,6 +118,11 @@ class BatchScheduler {
     std::uint64_t shed = 0;               // refused: queue at max_queue_depth
     std::uint64_t retried = 0;            // backend re-invocations (transient)
     std::uint64_t degraded = 0;           // served with shards_failed > 0
+
+    // One JSON object, keys matching the registry's scheduler.* metric
+    // suffixes (scheduler.submitted ↔ "submitted", ...), so the server has
+    // one stats vocabulary instead of a hand-rolled struct dump.
+    std::string ToJson() const;
   };
   Stats stats() const;
 
@@ -124,7 +132,30 @@ class BatchScheduler {
     std::chrono::steady_clock::time_point arrival;
     std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
     std::promise<Result<SearchResult>> promise;
+    // Trace-epoch offset captured at Submit, so the queue-wait span can be
+    // stamped at dispatch time (only meaningful when query.trace is set).
+    std::uint64_t trace_submit_us = 0;
   };
+
+  // Process-global registry handles, resolved once at construction (metric
+  // lookup locks; Submit and the scheduler loop must not). Counters mirror
+  // the per-instance stats_ — the registry aggregates across every
+  // scheduler in the process, stats() stays per-instance.
+  struct Metrics {
+    obs::Counter* submitted;
+    obs::Counter* batches_dispatched;
+    obs::Counter* served;
+    obs::Counter* coalesced;
+    obs::Counter* deadline_expired;
+    obs::Counter* rejected;
+    obs::Counter* shed;
+    obs::Counter* retried;
+    obs::Counter* degraded;
+    obs::Gauge* queue_depth;
+    obs::Histogram* batch_size;
+    obs::Histogram* batch_wait_us;
+  };
+  static Metrics ResolveMetrics();
 
   void SchedulerLoop() KDASH_EXCLUDES(mutex_);
   // Resolves a popped batch: expired requests get kDeadlineExceeded, the
@@ -139,6 +170,7 @@ class BatchScheduler {
 
   Backend backend_;
   BatchSchedulerOptions options_;
+  Metrics metrics_;
 
   mutable Mutex mutex_;
   Mutex join_mutex_;  // serializes concurrent Shutdown joins

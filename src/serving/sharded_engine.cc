@@ -13,7 +13,10 @@
 
 #include "common/fault.h"
 #include "common/mutex.h"
+#include "common/timer.h"
 #include "common/top_k.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace kdash::serving {
 
@@ -23,6 +26,29 @@ struct ShardedEngine::ControlBlock {
   std::atomic<std::uint64_t> shard_failures{0};
   std::atomic<std::uint64_t> shard_retries{0};
   std::atomic<std::uint64_t> degraded_queries{0};
+
+  // Registry mirrors of the counters above (process-cumulative, across
+  // every ShardedEngine) plus the per-shard latency histograms, resolved
+  // once so the fan-out hot path never takes the registry lock. The
+  // histogram vector is filled by InitShardMetrics once the shard count is
+  // known (Build/Open).
+  obs::Counter* m_shard_failures =
+      &obs::MetricRegistry::Global().GetCounter("serving.shard_failures");
+  obs::Counter* m_shard_retries =
+      &obs::MetricRegistry::Global().GetCounter("serving.shard_retries");
+  obs::Counter* m_degraded_queries =
+      &obs::MetricRegistry::Global().GetCounter("serving.degraded_queries");
+  obs::Histogram* m_merge_us =
+      &obs::MetricRegistry::Global().GetHistogram("serving.merge_us");
+  std::vector<obs::Histogram*> m_shard_latency_us;
+
+  void InitShardMetrics(std::size_t shard_count) {
+    m_shard_latency_us.resize(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      m_shard_latency_us[s] = &obs::MetricRegistry::Global().GetHistogram(
+          "serving.shard_latency_us.s" + std::to_string(s));
+    }
+  }
 
   // The failure policy is multi-field, so it gets a real lock: FanOut
   // snapshots it once per call and set_failure_policy replaces it whole —
@@ -45,6 +71,12 @@ ShardedEngine::FailureStats ShardedEngine::failure_stats() const {
   stats.degraded_queries =
       control_->degraded_queries.load(std::memory_order_relaxed);
   return stats;
+}
+
+std::string ShardedEngine::FailureStats::ToJson() const {
+  return "{\"shard_failures\":" + std::to_string(shard_failures) +
+         ",\"shard_retries\":" + std::to_string(shard_retries) +
+         ",\"degraded_queries\":" + std::to_string(degraded_queries) + "}";
 }
 
 ShardFailurePolicy ShardedEngine::failure_policy() const {
@@ -142,6 +174,7 @@ Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
       });
   sharded.shards_.reserve(static_cast<std::size_t>(num_shards));
   for (auto& shard : shards) sharded.shards_.push_back(std::move(*shard));
+  sharded.control_->InitShardMetrics(sharded.shards_.size());
   return sharded;
 }
 
@@ -275,6 +308,7 @@ Result<ShardedEngine> ShardedEngine::Open(const std::string& dir) {
   sharded.bounds_ = std::move(bounds);
   sharded.shards_.reserve(shard_count);
   for (auto& engine : loaded) sharded.shards_.push_back(std::move(*engine));
+  sharded.control_->InitShardMetrics(shard_count);
   return sharded;
 }
 
@@ -294,7 +328,22 @@ Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
       }
     }
     if (status.ok()) {
-      auto result = shards_[s].Search(query);
+      obs::ScopedSpan span(query.trace.get(), "sharded.shard_search",
+                           static_cast<int>(s));
+      WallTimer timer;
+      // Shard queries run with the trace detached: the shard engine is a
+      // plain Engine whose "engine.search" span would duplicate the
+      // per-shard span stamped here (with the shard id attached). The copy
+      // happens only for traced queries — the untraced hot path passes the
+      // caller's query through untouched.
+      auto result = [&] {
+        if (query.trace == nullptr) return shards_[s].Search(query);
+        Query shard_query = query;
+        shard_query.trace = nullptr;
+        return shards_[s].Search(shard_query);
+      }();
+      control_->m_shard_latency_us[s]->Record(
+          static_cast<std::uint64_t>(timer.Micros()));
       if (result.ok()) {
         *out = std::move(*result);
         return Status::Ok();
@@ -302,6 +351,7 @@ Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
       status = result.status();
     }
     control_->shard_failures.fetch_add(1, std::memory_order_relaxed);
+    control_->m_shard_failures->Add();
     // An invalid query fails identically on every shard and on every
     // attempt — retrying or degrading would only mask the caller's bug.
     if (!retryable_mode || status.code() == StatusCode::kInvalidArgument ||
@@ -309,6 +359,7 @@ Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
       return status;
     }
     control_->shard_retries.fetch_add(1, std::memory_order_relaxed);
+    control_->m_shard_retries->Add();
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     backoff = std::min(backoff * 2, policy.max_backoff);
   }
@@ -375,12 +426,15 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
                           first_failure->message()));
       }
       control_->degraded_queries.fetch_add(1, std::memory_order_relaxed);
+      control_->m_degraded_queries->Add();
     }
 
     // Exact merge over the surviving shards: each returned the exact top-k
     // among its own nodes, so the k best of their union under the
     // library-wide (score desc, id asc) total order is exactly what a
     // single engine restricted to those node ranges would return.
+    obs::ScopedSpan merge_span(queries[q].trace.get(), "sharded.merge");
+    WallTimer merge_timer;
     TopKHeap heap(queries[q].k);
     core::SearchStats merged;
     for (std::size_t s = 0; s < shard_count; ++s) {
@@ -398,6 +452,8 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
     results[q].stats = merged;
     results[q].shards_ok = ok_shards;
     results[q].shards_failed = failed_shards;
+    control_->m_merge_us->Record(
+        static_cast<std::uint64_t>(merge_timer.Micros()));
   }
   return results;
 }

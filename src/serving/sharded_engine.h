@@ -151,6 +151,10 @@ class ShardedEngine {
     std::uint64_t shard_failures = 0;   // individual shard attempts that failed
     std::uint64_t shard_retries = 0;    // retry attempts issued
     std::uint64_t degraded_queries = 0; // answered from a strict shard subset
+
+    // One JSON object, keys matching the registry's serving.* metric
+    // suffixes (serving.shard_failures ↔ "shard_failures", ...).
+    std::string ToJson() const;
   };
   FailureStats failure_stats() const;
 

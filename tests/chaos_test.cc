@@ -21,6 +21,7 @@
 
 #include "common/fault.h"
 #include "core/kdash_index.h"
+#include "obs/metrics.h"
 #include "serving/batch_scheduler.h"
 #include "serving/sharded_engine.h"
 #include "test_util.h"
@@ -344,6 +345,58 @@ TEST_F(ChaosTest, FullStackMultiSiteChaos) {
       "(faults: %s)\n",
       exact.load(), degraded.load(), transient.load(), shed.load(),
       faults.c_str());
+}
+
+TEST_F(ChaosTest, FaultFiresMatchRegistryCountersExactly) {
+  // The fault framework exports every fire through the metric registry as
+  // "fault.fired.<site>" (src/common/fault.cc); a chaos run's post-mortem
+  // reads those counters out of the same snapshot as the latency metrics.
+  // Contract: per site, the registry counter's delta over a run equals the
+  // framework's own SiteStats fire count, exactly — drift would mean a
+  // fire path that skipped one of the two books.
+  const auto graph = test::RandomDirectedGraph(60, 300, 17);
+  const auto index = core::KDashIndex::Build(graph, {});
+  std::stringstream golden;
+  ASSERT_TRUE(index.Save(golden).ok());
+  const std::string bytes = golden.str();
+
+  const char* kSites[] = {"index_io.read", "index_io.write"};
+  auto& registry = obs::MetricRegistry::Global();
+  std::uint64_t baseline[2];
+  for (int i = 0; i < 2; ++i) {
+    // Counter baseline: earlier suites in this process fired these sites
+    // too, and the registry never resets.
+    baseline[i] =
+        registry.GetCounter(std::string("fault.fired.") + kSites[i]).Value();
+  }
+
+  fault::FaultSpec spec;
+  spec.seed = ChaosBaseSeed() + 1;
+  spec.code = StatusCode::kDataLoss;
+  spec.probability = 0.01;
+  fault::ScopedFault read_guard(kSites[0], spec);
+  spec.probability = 0.2;
+  spec.code = StatusCode::kUnavailable;
+  fault::ScopedFault write_guard(kSites[1], spec);
+
+  int failed = 0;
+  for (int round = 0; round < 16; ++round) {
+    std::istringstream in(bytes);
+    if (!core::KDashIndex::Load(in).ok()) ++failed;
+    std::stringstream out;
+    if (!index.Save(out).ok()) ++failed;
+  }
+  EXPECT_GT(failed, 0);  // the schedules actually fired
+
+  for (int i = 0; i < 2; ++i) {
+    // SiteStats die with Disarm, so read them while the guards are armed;
+    // ScopedFault armed a fresh site, so .fires counts this run only.
+    const std::uint64_t fires = fault::GetStats(kSites[i]).fires;
+    const std::uint64_t metric_delta =
+        registry.GetCounter(std::string("fault.fired.") + kSites[i]).Value() -
+        baseline[i];
+    EXPECT_EQ(metric_delta, fires) << kSites[i];
+  }
 }
 
 TEST_F(ChaosTest, DisarmedSitesAreInvisible) {

@@ -1,0 +1,7 @@
+// kdash-lint-fixture: expect=metric-name-grammar
+#include "obs/metrics.h"
+
+void Fire(double v) {
+  kdash::obs::MetricRegistry::Global().GetHistogram("Server.RequestUs")
+      .Record(static_cast<std::uint64_t>(v));
+}

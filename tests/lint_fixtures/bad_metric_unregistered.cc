@@ -1,0 +1,7 @@
+// kdash-lint-fixture: expect=metric-name-registered
+#include "obs/metrics.h"
+
+void Fire() {
+  kdash::obs::MetricRegistry::Global().GetCounter("server.not_a_real_metric")
+      .Add();
+}

@@ -1,0 +1,14 @@
+// kdash-lint-fixture: expect=clean
+// A registered metric name and a registered `<N>` family with a runtime
+// suffix — both resolve against kKnownMetrics (src/obs/metrics.h).
+#include <string>
+
+#include "obs/metrics.h"
+
+void Fire(int shard) {
+  auto& registry = kdash::obs::MetricRegistry::Global();
+  registry.GetCounter("serving.shard_failures").Add();
+  registry
+      .GetHistogram("serving.shard_latency_us.s" + std::to_string(shard))
+      .Record(1);
+}

@@ -4,18 +4,25 @@
 // stream.
 //
 // Request line grammar (whitespace-separated):
-//   <source> [<source> ...] [-- <exclude> ...] [k=<n>]
+//   <source> [<source> ...] [-- <exclude> ...] [k=<n>] [trace=1]
 // plus the literal health request `{"ping":1}` (answered in order with a
-// pong record, without touching the scheduler or the index).
+// pong record, without touching the scheduler or the index) and the stats
+// request `{"stats":1}` (answered in order with a metric-registry
+// snapshot, see obs/metrics.h).
 // Response records:
 //   {"id":7,"sources":[3],"k":5,"top":[{"node":9,"score":0.0123},...],
-//    "visited":42,"computed":17,"pruned":true}
-//   {"id":8,"code":"INVALID_ARGUMENT","error":"source node 999 out of ..."}
-//   {"id":9,"pong":1}
+//    "visited":42,"computed":17,"pruned":true,"t_us":184}
+//   {"id":8,"code":"INVALID_ARGUMENT","error":"source node 999 out of ...,
+//    "t_us":12}
+//   {"id":9,"pong":1,"t_us":3}
+//   {"id":10,"stats":{"metrics":[...]},"t_us":57}
 // Error records carry the canonical status-code name in "code" so clients
 // can branch on DEADLINE_EXCEEDED / UNAVAILABLE / RESOURCE_EXHAUSTED
 // without parsing the human-readable message. Degraded sharded results add
-// "shards_failed" (complete results omit it).
+// "shards_failed" (complete results omit it). "t_us" is the server-side
+// end-to-end latency of the request (parse → answer ready to send) and is
+// present on every record kind; `trace=1` requests additionally get a
+// "trace" array of per-stage spans (obs/trace.h).
 #ifndef KDASH_TOOLS_JSON_LINES_H_
 #define KDASH_TOOLS_JSON_LINES_H_
 
@@ -80,6 +87,10 @@ inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
       query->k = static_cast<std::size_t>(parsed);
       continue;
     }
+    if (token == "trace=1") {
+      query->trace = std::make_shared<obs::TraceContext>();
+      continue;
+    }
     char* end = nullptr;
     const long long id = std::strtoll(token.c_str(), &end, 10);
     if (end == token.c_str() || *end != '\0') {
@@ -97,32 +108,74 @@ inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
   return true;
 }
 
+// Appends `,"t_us":N` when the caller measured a server-side latency;
+// t_us < 0 (the default everywhere) omits the field, so offline callers
+// (tests, simple scripts) keep byte-stable records.
+inline void AppendLatencyField(std::string* record, long long t_us) {
+  if (t_us >= 0) *record += ",\"t_us\":" + std::to_string(t_us);
+}
+
 // Error record with a machine-readable code field. The string overload is
 // for client-side parse failures, which are kInvalidArgument by definition.
-inline std::string FormatErrorRecord(long long id, const Status& status) {
-  return "{\"id\":" + std::to_string(id) + ",\"code\":\"" +
-         StatusCodeName(status.code()) + "\",\"error\":\"" +
-         JsonEscape(status.message()) + "\"}";
+inline std::string FormatErrorRecord(long long id, const Status& status,
+                                     long long t_us = -1) {
+  std::string record = "{\"id\":" + std::to_string(id) + ",\"code\":\"" +
+                       StatusCodeName(status.code()) + "\",\"error\":\"" +
+                       JsonEscape(status.message()) + "\"";
+  AppendLatencyField(&record, t_us);
+  record += "}";
+  return record;
 }
 
-inline std::string FormatErrorRecord(long long id, const std::string& message) {
-  return FormatErrorRecord(id, Status::InvalidArgument(message));
+inline std::string FormatErrorRecord(long long id, const std::string& message,
+                                     long long t_us = -1) {
+  return FormatErrorRecord(id, Status::InvalidArgument(message), t_us);
 }
 
-inline std::string FormatPongRecord(long long id) {
-  return "{\"id\":" + std::to_string(id) + ",\"pong\":1}";
+inline std::string FormatPongRecord(long long id, long long t_us = -1) {
+  std::string record = "{\"id\":" + std::to_string(id) + ",\"pong\":1";
+  AppendLatencyField(&record, t_us);
+  record += "}";
+  return record;
 }
 
-// The literal health-request line (exact match after trimming whitespace).
-inline bool IsPingLine(const std::string& line) {
+// Stats record: `stats_json` is a pre-rendered JSON object (the registry's
+// SnapshotToJson()), embedded verbatim.
+inline std::string FormatStatsRecord(long long id,
+                                     const std::string& stats_json,
+                                     long long t_us = -1) {
+  std::string record =
+      "{\"id\":" + std::to_string(id) + ",\"stats\":" + stats_json;
+  AppendLatencyField(&record, t_us);
+  record += "}";
+  return record;
+}
+
+namespace internal {
+// Exact-match line requests (after trimming blanks): the two JSON command
+// literals clients may interleave with query lines.
+inline bool IsLiteralLine(const std::string& line, const char* literal) {
   std::size_t begin = line.find_first_not_of(" \t");
   std::size_t end = line.find_last_not_of(" \t");
   if (begin == std::string::npos) return false;
-  return line.compare(begin, end - begin + 1, "{\"ping\":1}") == 0;
+  return line.compare(begin, end - begin + 1, literal) == 0;
+}
+}  // namespace internal
+
+// The literal health-request line (exact match after trimming whitespace).
+inline bool IsPingLine(const std::string& line) {
+  return internal::IsLiteralLine(line, "{\"ping\":1}");
+}
+
+// The literal stats-request line: answered with the process metric
+// registry's snapshot.
+inline bool IsStatsLine(const std::string& line) {
+  return internal::IsLiteralLine(line, "{\"stats\":1}");
 }
 
 inline std::string FormatResultRecord(long long id, const Query& query,
-                                      const SearchResult& result) {
+                                      const SearchResult& result,
+                                      long long t_us = -1) {
   std::string record = "{\"id\":" + std::to_string(id) + ",\"sources\":[";
   for (std::size_t i = 0; i < query.sources.size(); ++i) {
     if (i > 0) record += ',';
@@ -146,6 +199,10 @@ inline std::string FormatResultRecord(long long id, const Query& query,
     // must check for this field.
     record += ",\"shards_ok\":" + std::to_string(result.shards_ok) +
               ",\"shards_failed\":" + std::to_string(result.shards_failed);
+  }
+  AppendLatencyField(&record, t_us);
+  if (query.trace != nullptr) {
+    record += ",\"trace\":" + query.trace->ToJson();
   }
   record += "}";
   return record;

@@ -11,12 +11,15 @@
 //       Opens an index and prints the exact top-k for each query node.
 //       Multiple nodes with --personalized run one restart-set query.
 //
-//   kdash_cli batch <index.kdash> [queries.txt] [--k=5]
+//   kdash_cli batch <index.kdash> [queries.txt] [--k=5] [--stats]
 //       Streams queries (one per line, from the file or stdin) through the
 //       engine and emits one JSON object per query on stdout. Line format:
-//         <source> [<source> ...] [-- <exclude> ...] [k=<n>]
+//         <source> [<source> ...] [-- <exclude> ...] [k=<n>] [trace=1]
 //       Invalid lines produce {"error": ...} records and processing
-//       continues — the groundwork for the async server front end.
+//       continues — the groundwork for the async server front end. Every
+//       record carries "t_us" (per-request wall time); {"ping":1} and
+//       {"stats":1} lines are answered like kdash_server answers them, and
+//       --stats dumps the final metric-registry snapshot to stderr.
 //
 //   kdash_cli stats <index.kdash>
 //       Prints the index's size and precompute accounting.
@@ -39,6 +42,7 @@
 #include "datasets/datasets.h"
 #include "graph/io.h"
 #include "json_lines.h"
+#include "obs/metrics.h"
 #include "serving/sharded_engine.h"
 
 namespace kdash {
@@ -53,7 +57,7 @@ int Usage() {
       "            [--undirected] [--shards=P  (writes a sharded dir)]\n"
       "  kdash_cli query <index.kdash> <node> [<node>...] [--k=5]\n"
       "            [--personalized]\n"
-      "  kdash_cli batch <index.kdash> [queries.txt|-] [--k=5]\n"
+      "  kdash_cli batch <index.kdash> [queries.txt|-] [--k=5] [--stats]\n"
       "  kdash_cli stats <index.kdash>\n"
       "  kdash_cli generate <dictionary|internet|citation|social|email>\n"
       "            <edges.txt> [--scale=1.0] [--seed=42]\n");
@@ -218,12 +222,15 @@ int CmdBatch(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   std::size_t default_k = 5;
   std::string input_path = "-";
+  bool dump_stats = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string value;
     if (FlagValue(args[i], "--k", &value)) {
       const long long parsed = std::atoll(value.c_str());
       if (parsed <= 0) return Usage();
       default_k = static_cast<std::size_t>(parsed);
+    } else if (args[i] == "--stats") {
+      dump_stats = true;
     } else {
       input_path = args[i];
     }
@@ -247,26 +254,50 @@ int CmdBatch(const std::vector<std::string>& args) {
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
     if (line.empty() || line[0] == '#') continue;
+    WallTimer request_timer;  // "t_us" on every record, like kdash_server
     if (tools::IsPingLine(line)) {  // protocol parity with kdash_server
-      std::printf("%s\n", tools::FormatPongRecord(id++).c_str());
+      std::printf("%s\n",
+                  tools::FormatPongRecord(
+                      id++, static_cast<long long>(request_timer.Micros()))
+                      .c_str());
+      continue;
+    }
+    if (tools::IsStatsLine(line)) {
+      std::printf("%s\n",
+                  tools::FormatStatsRecord(
+                      id++, obs::MetricRegistry::Global().SnapshotToJson(),
+                      static_cast<long long>(request_timer.Micros()))
+                      .c_str());
       continue;
     }
     Query query;
     std::string parse_error;
     if (!tools::ParseQueryLine(line, default_k, &query, &parse_error)) {
-      std::printf("%s\n", tools::FormatErrorRecord(id++, parse_error).c_str());
+      std::printf("%s\n",
+                  tools::FormatErrorRecord(
+                      id++, parse_error,
+                      static_cast<long long>(request_timer.Micros()))
+                      .c_str());
       ++failures;
       continue;
     }
     const auto result = engine->Search(query);
+    const long long t_us = static_cast<long long>(request_timer.Micros());
     if (!result.ok()) {
       std::printf(
-          "%s\n", tools::FormatErrorRecord(id++, result.status()).c_str());
+          "%s\n",
+          tools::FormatErrorRecord(id++, result.status(), t_us).c_str());
       ++failures;
       continue;
     }
-    std::printf("%s\n",
-                tools::FormatResultRecord(id++, query, *result).c_str());
+    std::printf(
+        "%s\n",
+        tools::FormatResultRecord(id++, query, *result, t_us).c_str());
+  }
+  if (dump_stats) {
+    // To stderr so stdout stays protocol-pure (one record per request).
+    std::fprintf(stderr, "%s\n",
+                 obs::MetricRegistry::Global().SnapshotToJson().c_str());
   }
   return failures == 0 ? 0 : 1;
 }

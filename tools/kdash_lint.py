@@ -17,6 +17,17 @@ nearly bitten:
   fault-site-unused      Every kKnownFaultSites entry is evaluated by at
                          least one injection point — the registry and the
                          code cannot drift apart in either direction.
+  metric-name-grammar    Every metric name literal passed to GetCounter /
+                         GetGauge / GetHistogram matches the same grammar
+                         as fault sites, so metric names stay greppable
+                         and dashboard-safe.
+  metric-name-registered Every such literal is listed in kKnownMetrics
+                         (src/obs/metrics.h). A literal followed by `+`
+                         (runtime suffix, e.g. per-shard histograms) must
+                         match a registry family entry ending in `<N>`.
+  metric-name-unused     Every kKnownMetrics entry is resolved by at least
+                         one call site — same no-drift contract as fault
+                         sites.
   detach                 No std::thread::detach(): a detached thread that
                          touches anything with a lifetime is a shutdown
                          use-after-free by construction.
@@ -55,8 +66,11 @@ from typing import List, NamedTuple, Sequence, Set, Tuple
 SITE_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
 WAIVER = re.compile(r"kdash-lint:\s*allow\(([a-z-]+)\)(\s*\S)?")
 REGISTRY = re.compile(r"kKnownFaultSites\[\]\s*=\s*\{(.*?)\};", re.S)
+METRIC_REGISTRY = re.compile(r"kKnownMetrics\[\]\s*=\s*\{(.*?)\};", re.S)
 FAULT_CALL = re.compile(
     r'(?:KDASH_INJECT_FAULT|fault::Check)\s*\(\s*"([^"]*)"\s*([+)])')
+METRIC_CALL = re.compile(
+    r'(?:GetCounter|GetGauge|GetHistogram)\s*\(\s*"([^"]*)"\s*([+)])')
 DETACH = re.compile(r"\.detach\s*\(\s*\)")
 NAKED_NEW = re.compile(r"\bnew\b")
 RAW_READ = re.compile(r"\.read\s*\(")
@@ -129,74 +143,90 @@ def waived(lines: Sequence[str], line: int, rule: str) -> bool:
     return False
 
 
-def parse_registry(fault_h: str) -> List[str]:
-    m = REGISTRY.search(strip_comments(fault_h))
+def parse_registry(header_text: str, pattern: re.Pattern = REGISTRY,
+                   what: str = "kKnownFaultSites in src/common/fault.h",
+                   ) -> List[str]:
+    m = pattern.search(strip_comments(header_text))
     if m is None:
-        raise SystemExit(
-            "kdash_lint: cannot find kKnownFaultSites in src/common/fault.h")
+        raise SystemExit(f"kdash_lint: cannot find {what}")
     return re.findall(r'"([^"]+)"', m.group(1))
 
 
-def check_registry(entries: Sequence[str],
-                   fault_h_path: pathlib.Path) -> List[Violation]:
+def check_registry(entries: Sequence[str], registry_path: pathlib.Path,
+                   rule_prefix: str = "fault-site",
+                   array_name: str = "kKnownFaultSites") -> List[Violation]:
     violations = []
     seen: Set[str] = set()
     for entry in entries:
         if entry in seen:
             violations.append(Violation(
-                fault_h_path, 1, "fault-site-registered",
+                registry_path, 1, f"{rule_prefix}-registered",
                 f'registry entry "{entry}" is listed more than once'))
         seen.add(entry)
         bare = entry.replace("<N>", "n")
         if not SITE_GRAMMAR.match(bare):
             violations.append(Violation(
-                fault_h_path, 1, "fault-site-grammar",
+                registry_path, 1, f"{rule_prefix}-grammar",
                 f'registry entry "{entry}" does not match the site grammar'))
-        if sorted(entries) != list(entries):
-            pass  # ordering is style, reported once below
     if sorted(entries) != list(entries):
         violations.append(Violation(
-            fault_h_path, 1, "fault-site-registered",
-            "kKnownFaultSites must stay sorted"))
+            registry_path, 1, f"{rule_prefix}-registered",
+            f"{array_name} must stay sorted"))
+    return violations
+
+
+def check_name_calls(path: pathlib.Path, code: str, call_pattern: re.Pattern,
+                     registry: Sequence[str], used: Set[str],
+                     rule_prefix: str, array_ref: str) -> List[Violation]:
+    """Shared literal-vs-registry check for fault sites and metric names:
+    an exact literal (terminator `)`) must be a registered entry; a literal
+    with a runtime suffix (terminator `+`) must name a `<N>` family."""
+    violations: List[Violation] = []
+    exact = {e for e in registry if "<N>" not in e}
+    families = [e[:-len("<N>")] for e in registry if e.endswith("<N>")]
+    for m in call_pattern.finditer(code):
+        name, terminator = m.group(1), m.group(2)
+        line = line_of(code, m.start())
+        if terminator == ")":
+            if not SITE_GRAMMAR.match(name):
+                violations.append(Violation(
+                    path, line, f"{rule_prefix}-grammar",
+                    f'name "{name}" does not match '
+                    "[a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*"))
+            elif name not in exact:
+                violations.append(Violation(
+                    path, line, f"{rule_prefix}-registered",
+                    f'name "{name}" is not in {array_ref}'))
+            else:
+                used.add(name)
+        else:  # literal + runtime suffix: must name a registered family
+            family = next((f for f in families if f == name), None)
+            if family is None:
+                violations.append(Violation(
+                    path, line, f"{rule_prefix}-registered",
+                    f'parameterized name "{name}<runtime>" has no '
+                    f'matching "{name}<N>" family in {array_ref}'))
+            else:
+                used.add(family + "<N>")
     return violations
 
 
 def lint_file(path: pathlib.Path, registry: Sequence[str],
-              used_sites: Set[str]) -> List[Violation]:
+              used_sites: Set[str], metric_registry: Sequence[str] = (),
+              used_metrics: Set[str] | None = None) -> List[Violation]:
     text = path.read_text()
     lines = text.splitlines()
     code = strip_comments(text)              # strings kept: site literals
     bare = strip_comments(text, strip_strings=True)  # for `new` tokens
     violations: List[Violation] = []
 
-    exact = {e for e in registry if "<N>" not in e}
-    families = [e[:-len("<N>")] for e in registry if e.endswith("<N>")]
-
-    for m in FAULT_CALL.finditer(code):
-        site, terminator = m.group(1), m.group(2)
-        line = line_of(code, m.start())
-        if terminator == ")":
-            if not SITE_GRAMMAR.match(site):
-                violations.append(Violation(
-                    path, line, "fault-site-grammar",
-                    f'site "{site}" does not match '
-                    "[a-z][a-z0-9_]*(.[a-z][a-z0-9_]*)*"))
-            elif site not in exact:
-                violations.append(Violation(
-                    path, line, "fault-site-registered",
-                    f'site "{site}" is not in kKnownFaultSites '
-                    "(src/common/fault.h)"))
-            else:
-                used_sites.add(site)
-        else:  # literal + runtime suffix: must name a registered family
-            family = next((f for f in families if f == site), None)
-            if family is None:
-                violations.append(Violation(
-                    path, line, "fault-site-registered",
-                    f'parameterized site "{site}<runtime>" has no '
-                    f'matching "{site}<N>" family in kKnownFaultSites'))
-            else:
-                used_sites.add(family + "<N>")
+    violations.extend(check_name_calls(
+        path, code, FAULT_CALL, registry, used_sites,
+        "fault-site", "kKnownFaultSites (src/common/fault.h)"))
+    violations.extend(check_name_calls(
+        path, code, METRIC_CALL, metric_registry,
+        used_metrics if used_metrics is not None else set(),
+        "metric-name", "kKnownMetrics (src/obs/metrics.h)"))
 
     for m in DETACH.finditer(bare):
         line = line_of(bare, m.start())
@@ -250,17 +280,31 @@ def gather(root: pathlib.Path) -> List[pathlib.Path]:
 
 def run(root: pathlib.Path) -> int:
     fault_h = root / "src" / "common" / "fault.h"
+    metrics_h = root / "src" / "obs" / "metrics.h"
     registry = parse_registry(fault_h.read_text())
+    metric_registry = parse_registry(
+        metrics_h.read_text(), METRIC_REGISTRY,
+        "kKnownMetrics in src/obs/metrics.h")
     violations = check_registry(registry, fault_h)
+    violations.extend(check_registry(
+        metric_registry, metrics_h, "metric-name", "kKnownMetrics"))
     used_sites: Set[str] = set()
+    used_metrics: Set[str] = set()
     for path in gather(root):
-        violations.extend(lint_file(path, registry, used_sites))
+        violations.extend(lint_file(path, registry, used_sites,
+                                    metric_registry, used_metrics))
     for entry in registry:
         if entry not in used_sites:
             violations.append(Violation(
                 fault_h, 1, "fault-site-unused",
                 f'registry entry "{entry}" is evaluated by no injection '
                 "point — remove it or add the site"))
+    for entry in metric_registry:
+        if entry not in used_metrics:
+            violations.append(Violation(
+                metrics_h, 1, "metric-name-unused",
+                f'registry entry "{entry}" is resolved by no call site — '
+                "remove it or add the instrumentation"))
     for v in violations:
         print(v, file=sys.stderr)
     if violations:
@@ -282,6 +326,9 @@ def selftest(root: pathlib.Path) -> int:
         return 1
     registry = parse_registry((root / "src" / "common" / "fault.h")
                               .read_text())
+    metric_registry = parse_registry(
+        (root / "src" / "obs" / "metrics.h").read_text(), METRIC_REGISTRY,
+        "kKnownMetrics in src/obs/metrics.h")
     failures = 0
     for fixture in fixtures:
         header = FIXTURE_HEADER.search(fixture.read_text())
@@ -292,7 +339,8 @@ def selftest(root: pathlib.Path) -> int:
             failures += 1
             continue
         expected = set(header.group(1).split(",")) - {"clean"}
-        got = {v.rule for v in lint_file(fixture, registry, set())}
+        got = {v.rule for v in lint_file(fixture, registry, set(),
+                                         metric_registry, set())}
         if got == expected:
             print(f"ok   {fixture.name}: {sorted(got) or ['clean']}")
         else:

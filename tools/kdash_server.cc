@@ -8,7 +8,7 @@
 //   kdash_server <index.kdash | sharded-index-dir/> [--k=5] [--batch=64]
 //                [--wait-us=500] [--deadline-ms=0] [--window=256]
 //                [--max-queue=4096] [--degrade=fail|retry|degrade]
-//                [--port=7607]
+//                [--port=7607] [--stats-period=0]
 //
 // The index argument is a single-index file, or a directory written by
 // serving::ShardedEngine::Save (detected automatically; queries then fan
@@ -29,9 +29,17 @@
 //                    or degrade (serve partial top-k from live shards,
 //                    tagged with "shards_failed")
 //
+//   --stats-period=N per-process metric snapshot (obs::MetricRegistry) to
+//                    stderr every N seconds (0 = off)
+//
 // Every error record carries the canonical status-code name in "code", and
 // the literal request line {"ping":1} answers {"id":N,"pong":1} in order —
-// a health probe that works even while queries are being shed.
+// a health probe that works even while queries are being shed. The literal
+// line {"stats":1} answers {"id":N,"stats":{...}} with the live metric
+// registry snapshot (scheduler, per-shard, IO, and fault-site metrics in
+// one deterministic JSON object) — like pings it is answered in order and
+// never queued or shed. Every record carries "t_us", the server-side
+// end-to-end latency of its request.
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -57,8 +65,10 @@
 
 #include "common/fault.h"
 #include "common/mutex.h"
+#include "common/timer.h"
 #include "core/engine.h"
 #include "json_lines.h"
+#include "obs/metrics.h"
 #include "serving/batch_scheduler.h"
 #include "serving/sharded_engine.h"
 
@@ -70,6 +80,7 @@ struct ServerConfig {
   std::chrono::milliseconds deadline{0};  // 0 = none
   std::size_t window = 256;               // max in-flight requests per stream
   int port = -1;                          // -1 = stdin/stdout mode
+  std::chrono::seconds stats_period{0};   // 0 = no periodic stats dump
   serving::BatchSchedulerOptions scheduler;
   serving::ShardFailurePolicy failure_policy;  // sharded indexes only
 };
@@ -81,7 +92,7 @@ int Usage() {
                "                    [--deadline-ms=0] [--window=256]\n"
                "                    [--max-queue=4096]\n"
                "                    [--degrade=fail|retry|degrade]\n"
-               "                    [--port=7607]\n");
+               "                    [--port=7607] [--stats-period=0]\n");
   return 2;
 }
 
@@ -103,28 +114,62 @@ bool NumericFlag(const std::string& arg, const char* name, long long* value) {
 // A line sink the pump can write records to (stdout or a socket).
 using WriteLine = std::function<bool(const std::string&)>;
 
-// One in-flight request of a stream: a health ping, an immediately-failed
-// parse (error set), or a query waiting on its scheduler future.
+// One in-flight request of a stream: a health ping, a stats request, an
+// immediately-failed parse (error set), or a query waiting on its
+// scheduler future. The timer starts when the line is read and stops when
+// the record is formatted — "t_us" is server-side end-to-end latency.
 struct Pending {
   long long id = 0;
   bool is_ping = false;
+  bool is_stats = false;
   Query query;
   std::string parse_error;
   std::optional<std::future<Result<SearchResult>>> future;
+  WallTimer timer;
 };
 
+// Registry handles for the server's own request metrics, resolved once
+// (the writer thread touches them per record; lookups lock).
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Histogram* request_us;
+};
+
+ServerMetrics GetServerMetrics() {
+  static const ServerMetrics metrics = {
+      &obs::MetricRegistry::Global().GetCounter("server.requests"),
+      &obs::MetricRegistry::Global().GetHistogram("server.request_us")};
+  return metrics;
+}
+
 bool Resolve(Pending& pending, const WriteLine& write) {
+  const ServerMetrics metrics = GetServerMetrics();
+  metrics.requests->Add();
   if (pending.is_ping) {
-    return write(tools::FormatPongRecord(pending.id));
+    return write(tools::FormatPongRecord(
+        pending.id, static_cast<long long>(pending.timer.Micros())));
+  }
+  if (pending.is_stats) {
+    // Snapshot taken here, at answer time, so the record reflects every
+    // request resolved before it in stream order.
+    return write(tools::FormatStatsRecord(
+        pending.id, obs::MetricRegistry::Global().SnapshotToJson(),
+        static_cast<long long>(pending.timer.Micros())));
   }
   if (!pending.future.has_value()) {
-    return write(tools::FormatErrorRecord(pending.id, pending.parse_error));
+    const long long t_us = static_cast<long long>(pending.timer.Micros());
+    metrics.request_us->Record(static_cast<std::uint64_t>(t_us));
+    return write(
+        tools::FormatErrorRecord(pending.id, pending.parse_error, t_us));
   }
   Result<SearchResult> result = pending.future->get();
+  const long long t_us = static_cast<long long>(pending.timer.Micros());
+  metrics.request_us->Record(static_cast<std::uint64_t>(t_us));
   if (!result.ok()) {
-    return write(tools::FormatErrorRecord(pending.id, result.status()));
+    return write(tools::FormatErrorRecord(pending.id, result.status(), t_us));
   }
-  return write(tools::FormatResultRecord(pending.id, pending.query, *result));
+  return write(
+      tools::FormatResultRecord(pending.id, pending.query, *result, t_us));
 }
 
 // Pumps one request stream through the scheduler: a reader submits each
@@ -175,6 +220,8 @@ void PumpStream(std::istream& in, const WriteLine& write,
     pending.id = id++;
     if (tools::IsPingLine(line)) {
       pending.is_ping = true;  // answered in order, never queued or shed
+    } else if (tools::IsStatsLine(line)) {
+      pending.is_stats = true;  // like pings: in order, never queued or shed
     } else if (tools::ParseQueryLine(line, config.default_k, &pending.query,
                                      &pending.parse_error)) {
       pending.future = scheduler.Submit(pending.query, timeout);
@@ -400,6 +447,8 @@ int Main(int argc, char** argv) {
       }
     } else if (NumericFlag(arg, "--port", &value) && value > 0 && value < 65536) {
       config.port = static_cast<int>(value);
+    } else if (NumericFlag(arg, "--stats-period", &value) && value >= 0) {
+      config.stats_period = std::chrono::seconds(value);
     } else {
       return Usage();
     }
@@ -430,6 +479,35 @@ int Main(int argc, char** argv) {
   }
 
   serving::BatchScheduler scheduler(std::move(backend), config.scheduler);
+
+  // --stats-period: a background thread dumps the full registry snapshot to
+  // stderr every period (one JSON object per line, same shape as the
+  // {"stats":1} record), so a long-running server can be watched without a
+  // client slot. CondVar-stopped so shutdown never waits out a period.
+  struct StatsDumper {
+    Mutex mutex;
+    CondVar stop_changed;
+    bool stop KDASH_GUARDED_BY(mutex) = false;
+  };
+  StatsDumper dumper;
+  std::thread stats_thread;
+  if (config.stats_period.count() > 0) {
+    stats_thread = std::thread([&dumper, period = config.stats_period] {
+      MutexLock lock(dumper.mutex);
+      for (;;) {
+        const auto deadline = std::chrono::steady_clock::now() + period;
+        while (!dumper.stop &&
+               dumper.stop_changed.WaitUntil(dumper.mutex, deadline) !=
+                   std::cv_status::timeout) {
+        }
+        if (dumper.stop) return;
+        const std::string snapshot =
+            obs::MetricRegistry::Global().SnapshotToJson();
+        std::fprintf(stderr, "%s\n", snapshot.c_str());
+      }
+    });
+  }
+
   int exit_code = 0;
   if (config.port > 0) {
     exit_code = ServeTcp(scheduler, config);
@@ -444,17 +522,22 @@ int Main(int argc, char** argv) {
   }
 
   scheduler.Shutdown();
-  const auto stats = scheduler.stats();
-  std::fprintf(stderr,
-               "served %llu requests in %llu batches (%llu expired, %llu "
-               "rejected, %llu shed, %llu retried, %llu degraded)\n",
-               static_cast<unsigned long long>(stats.served),
-               static_cast<unsigned long long>(stats.batches_dispatched),
-               static_cast<unsigned long long>(stats.deadline_expired),
-               static_cast<unsigned long long>(stats.rejected),
-               static_cast<unsigned long long>(stats.shed),
-               static_cast<unsigned long long>(stats.retried),
-               static_cast<unsigned long long>(stats.degraded));
+  if (stats_thread.joinable()) {
+    {
+      MutexLock lock(dumper.mutex);
+      dumper.stop = true;
+    }
+    dumper.stop_changed.NotifyAll();
+    stats_thread.join();
+  }
+  // Exit summary in the same vocabulary as the live metrics — one JSON
+  // object per line, machine-diffable against a {"stats":1} snapshot.
+  std::fprintf(stderr, "scheduler stats: %s\n",
+               scheduler.stats().ToJson().c_str());
+  if (sharded != nullptr) {
+    std::fprintf(stderr, "shard failure stats: %s\n",
+                 sharded->failure_stats().ToJson().c_str());
+  }
   return exit_code;
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the repo's machine-readable bench output.
 
-Two record formats are understood:
+Three record formats are understood:
 
   scaling  one JSON line emitted by bench_parallel_scaling (bench_util's
            {"bench":"parallel_scaling","records":[...]} shape). The gated
@@ -15,6 +15,15 @@ Two record formats are understood:
            and exists in both runs is gated on real_time; the default
            filter pins the single-thread query-latency benchmarks, which
            must never pay for precompute-side parallelism.
+
+  latency  one bench_util JSON line whose "metrics" array carries the
+           process metric-registry snapshot (src/obs/metrics.h). The gated
+           value is the p99 of --metric (default engine.search_us, the
+           per-query serving latency histogram) from --bench (default
+           serving_throughput, run single-threaded in CI so queueing noise
+           stays out of the tail). Histogram quantiles are bucket lower
+           bounds — deterministic, so two identical runs compare exactly
+           equal; p50 and count are reported informationally.
 
 A missing baseline passes with a note (first run / expired artifact); a
 missing or malformed current file fails — the gate must not silently
@@ -163,6 +172,61 @@ def gate_micro(args):
     return 1 if failed else 0
 
 
+def find_histogram(record, metric_name):
+    """Finds a histogram entry by name in a bench record's metrics array."""
+    for entry in record.get("metrics", []):
+        if (isinstance(entry, dict) and entry.get("name") == metric_name and
+                entry.get("type") == "histogram"):
+            return entry
+    raise ValueError(f"no histogram metric \"{metric_name}\" in record "
+                     f"(bench built before instrumentation, or metric renamed)")
+
+
+def gate_latency(args):
+    try:
+        current = read_lines_json(args.current, args.bench)
+        cur_hist = find_histogram(current, args.metric)
+    except (OSError, ValueError) as error:
+        print(f"perf-gate: cannot read current latency record: {error}")
+        return 2
+    if int(cur_hist.get("count", 0)) == 0:
+        # The bench ran but the serving path recorded nothing: the metric
+        # plumbing broke, never approve on an empty histogram.
+        print(f"perf-gate: current {args.metric} histogram is empty — failing")
+        return 2
+    try:
+        baseline = read_lines_json(args.baseline, args.bench)
+        base_hist = find_histogram(baseline, args.metric)
+    except OSError:
+        print(f"perf-gate: no baseline at {args.baseline} — first run, passing")
+        return 0
+    except ValueError as error:
+        print(f"perf-gate: baseline unreadable ({error}) — passing")
+        return 0
+    if int(base_hist.get("count", 0)) == 0:
+        print(f"perf-gate: baseline {args.metric} histogram is empty — passing")
+        return 0
+
+    failed = False
+    for key, gated in [("p99", True), ("p50", False), ("count", False)]:
+        if key not in base_hist or key not in cur_hist:
+            continue
+        old, new = float(base_hist[key]), float(cur_hist[key])
+        if old <= 0:
+            continue
+        ratio = new / old
+        verdict = "OK"
+        if gated and ratio > 1.0 + args.max_regress:
+            verdict = f"REGRESSION (> {args.max_regress:.0%})"
+            failed = True
+        marker = "gated" if gated else "info"
+        unit = "" if key == "count" else "us"
+        print(f"perf-gate[{marker}] {args.metric} {key}: {old:.6g}{unit} -> "
+              f"{new:.6g}{unit} ({ratio:.3f}x) {verdict}")
+
+    return 1 if failed else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="mode", required=True)
@@ -179,6 +243,15 @@ def main():
     micro.add_argument("--max-regress", type=float, default=0.10)
     micro.add_argument("--filter", default=r"BM_KDashQuery|BM_ProximityRowDot")
     micro.set_defaults(func=gate_micro)
+
+    latency = sub.add_parser(
+        "latency", help="gate a latency-histogram p99 from a bench record")
+    latency.add_argument("--baseline", required=True)
+    latency.add_argument("--current", required=True)
+    latency.add_argument("--max-regress", type=float, default=0.10)
+    latency.add_argument("--bench", default="serving_throughput")
+    latency.add_argument("--metric", default="engine.search_us")
+    latency.set_defaults(func=gate_latency)
 
     args = parser.parse_args()
     return args.func(args)
