@@ -1,9 +1,11 @@
 // Serving-tier throughput: per-query synchronous Engine::Search from N
 // concurrent clients versus the same clients submitting through the
 // micro-batching BatchScheduler (requests coalesce into SearchBatch calls
-// on the shared pool), plus the scheduler over a ShardedEngine. Emits one
-// JSON record per (clients, mode) cell — the cross-PR perf artifact the
-// serving CI job uploads.
+// on the shared pool), plus the scheduler over a ShardedEngine and a
+// cache-on vs cache-off scheduler pair on the same repeat-heavy stream
+// (serving/result_cache.h answers cross-batch repeats without the
+// backend). Emits one JSON record per (clients, mode) cell — the cross-PR
+// perf artifact the serving CI job uploads.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -15,6 +17,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "serving/batch_scheduler.h"
 #include "serving/sharded_engine.h"
 
@@ -183,9 +186,17 @@ int Main() {
   const std::vector<Query> sharded_queries(queries.begin(),
                                            queries.begin() + 256);
 
+  // Cache-on twin of scheduler_options: same batching, plus the
+  // cross-batch result cache. The stream's rotating hot set repeats
+  // queries across batches, which is exactly the traffic the cache serves.
+  serving::BatchSchedulerOptions cached_options = scheduler_options;
+  cached_options.cache_entries = 1024;
+  obs::Counter& cache_hits =
+      obs::MetricRegistry::Global().GetCounter("cache.hit");
+
   const std::vector<int> client_counts{1, 2, 4, 8};
   PrintTableHeader({"clients", "sync_qps", "sched_qps", "sched_x",
-                    "sharded_qps", "p99_us"});
+                    "cached_qps", "cache_x", "sharded_qps", "p99_us"});
 
   // Five timed repetitions per cell, sync and scheduler interleaved so CPU
   // frequency / container-load drift hits both modes alike; report the
@@ -201,8 +212,9 @@ int Main() {
 
   std::vector<JsonObject> records;
   for (const int clients : client_counts) {
-    std::vector<Measurement> sync_runs, scheduled_runs;
-    std::vector<double> paired_ratios;
+    std::vector<Measurement> sync_runs, scheduled_runs, cached_runs;
+    std::vector<double> paired_ratios, cache_ratios;
+    double cache_hit_frac = 0.0;
     for (int rep = 0; rep < 5; ++rep) {
       sync_runs.push_back(RunSync(*engine, clients, queries));
       serving::BatchScheduler scheduler(
@@ -218,11 +230,27 @@ int Main() {
       // Paired ratio: this rep's sync and scheduled runs are adjacent in
       // time, so machine-load drift cancels out of the quotient.
       paired_ratios.push_back(m.qps / sync_runs.back().qps);
+
+      // Cache-on twin, paired against the cache-off run just measured.
+      // The cache is per-scheduler, so each rep starts cold — the measured
+      // gain is what a fresh server sees over one pass of the stream.
+      const std::uint64_t hits_before = cache_hits.Value();
+      serving::BatchScheduler cached_scheduler(
+          [&](std::span<const Query> batch) { return engine->SearchBatch(batch); },
+          cached_options);
+      cached_runs.push_back(RunScheduled(cached_scheduler, clients, queries));
+      cached_scheduler.Shutdown();
+      cache_hit_frac = static_cast<double>(cache_hits.Value() - hits_before) /
+                       static_cast<double>(queries.size());
+      cache_ratios.push_back(cached_runs.back().qps / m.qps);
     }
     std::sort(paired_ratios.begin(), paired_ratios.end());
     const double speedup = paired_ratios[paired_ratios.size() / 2];
+    std::sort(cache_ratios.begin(), cache_ratios.end());
+    const double cache_speedup = cache_ratios[cache_ratios.size() / 2];
     const Measurement sync = median(std::move(sync_runs));
     const Measurement scheduled = median(std::move(scheduled_runs));
+    const Measurement cached = median(std::move(cached_runs));
 
     Measurement sharded_scheduled;
     {
@@ -237,7 +265,8 @@ int Main() {
 
     PrintTableRow("c=" + std::to_string(clients),
                   {static_cast<double>(clients), sync.qps, scheduled.qps,
-                   speedup, sharded_scheduled.qps, scheduled.p99_us});
+                   speedup, cached.qps, cache_speedup, sharded_scheduled.qps,
+                   scheduled.p99_us});
     records.push_back(JsonObject()
                           .Add("clients", clients)
                           .Add("sync_qps", sync.qps)
@@ -248,6 +277,10 @@ int Main() {
                           .Add("scheduler_speedup", speedup)
                           .Add("scheduler_coalesced_frac",
                                scheduled.coalesced_frac)
+                          .Add("cached_scheduler_qps", cached.qps)
+                          .Add("cached_scheduler_p99_us", cached.p99_us)
+                          .Add("cache_speedup", cache_speedup)
+                          .Add("cache_hit_frac", cache_hit_frac)
                           .Add("sharded_scheduler_qps", sharded_scheduled.qps));
   }
   PrintJsonRecords("serving_throughput", records);

@@ -156,21 +156,17 @@ std::vector<Scalar> DynamicKDash::Solve(NodeId query) {
 std::vector<Scalar> DynamicKDash::SolvePersonalized(
     const std::vector<NodeId>& sources) {
   KDASH_CHECK(!sources.empty());
-  std::vector<NodeId> unique = sources;
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  for (const NodeId s : unique) {
-    KDASH_CHECK(s >= 0 && s < num_nodes_) << "source " << s;
-  }
   if (!correction_fresh_) RefreshCorrection();
 
-  // rhs = c·q with q the uniform restart distribution over the sources
-  // (q = e_query for a single-source query).
+  // rhs = c·q with q the restart distribution placing 1/|sources| on each
+  // occurrence — a duplicated source accumulates multiplicity, matching
+  // KDashSearcher::TopKPersonalized (q = e_query for a single source).
   std::vector<Scalar> rhs(static_cast<std::size_t>(num_nodes_), 0.0);
   const Scalar restart_mass =
-      options_.restart_prob / static_cast<Scalar>(unique.size());
-  for (const NodeId s : unique) {
-    rhs[static_cast<std::size_t>(s)] = restart_mass;
+      options_.restart_prob / static_cast<Scalar>(sources.size());
+  for (const NodeId s : sources) {
+    KDASH_CHECK(s >= 0 && s < num_nodes_) << "source " << s;
+    rhs[static_cast<std::size_t>(s)] += restart_mass;
   }
   std::vector<Scalar> p = BaseSolve(rhs);
   const int d = static_cast<int>(delta_columns_.size());

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -44,6 +46,10 @@ struct Engine::Impl {
   std::unique_ptr<core::DynamicKDash> dynamic
       KDASH_PT_GUARDED_BY(dynamic_mutex);
   mutable Mutex dynamic_mutex;
+
+  // Bumped on every successful edge mutation (see Engine::update_epoch).
+  // Atomic so lock-free cache-invalidation polls never touch dynamic_mutex.
+  std::atomic<std::uint64_t> update_epoch{0};
 
   // Registry handles resolved once per engine — metric lookup takes a lock
   // and Search must not. The counters make searcher-checkout contention
@@ -321,7 +327,11 @@ Status Engine::AddEdge(NodeId src, NodeId dst, Scalar weight) {
         "accept edge updates");
   }
   MutexLock lock(impl_->dynamic_mutex);
-  return impl_->dynamic->AddEdge(src, dst, weight);
+  const Status status = impl_->dynamic->AddEdge(src, dst, weight);
+  if (status.ok()) {
+    impl_->update_epoch.fetch_add(1, std::memory_order_release);
+  }
+  return status;
 }
 
 Status Engine::RemoveEdge(NodeId src, NodeId dst) {
@@ -331,12 +341,20 @@ Status Engine::RemoveEdge(NodeId src, NodeId dst) {
         "accept edge updates");
   }
   MutexLock lock(impl_->dynamic_mutex);
-  return impl_->dynamic->RemoveEdge(src, dst);
+  const Status status = impl_->dynamic->RemoveEdge(src, dst);
+  if (status.ok()) {
+    impl_->update_epoch.fetch_add(1, std::memory_order_release);
+  }
+  return status;
 }
 
 NodeId Engine::num_nodes() const { return impl_->num_nodes; }
 Scalar Engine::restart_prob() const { return impl_->restart_prob; }
 bool Engine::updatable() const { return impl_->dynamic != nullptr; }
+
+std::uint64_t Engine::update_epoch() const {
+  return impl_->update_epoch.load(std::memory_order_acquire);
+}
 
 const core::KDashIndex& Engine::index() const {
   KDASH_CHECK(impl_->index != nullptr)

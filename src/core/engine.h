@@ -27,6 +27,7 @@
 #define KDASH_CORE_ENGINE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -62,8 +63,9 @@ struct EngineOptions {
 
 // A fully-typed, self-contained query: no positional-argument juggling, no
 // borrowed pointers. One source = the paper's single-source top-k RWR;
-// several sources = the personalized restart-set query (uniform restart
-// over the deduplicated sources).
+// several sources = the personalized restart-set query (each occurrence
+// carries 1/|sources| of the restart mass, so a repeated source is
+// weighted by its multiplicity).
 struct Query {
   // Restart set. Must be non-empty, every id in [0, num_nodes).
   std::vector<NodeId> sources;
@@ -169,6 +171,13 @@ class Engine {
   NodeId num_nodes() const;
   Scalar restart_prob() const;
   bool updatable() const;
+
+  // Monotone counter bumped on every successful AddEdge/RemoveEdge (0 for
+  // a static engine, forever). Caches keyed on query content poll it to
+  // invalidate across graph mutations: an entry admitted under epoch e is
+  // stale iff update_epoch() != e. The bump happens before AddEdge returns,
+  // so a caller that observes the mutation also observes the new epoch.
+  std::uint64_t update_epoch() const;
 
   // The underlying precomputed index (static engines only — aborts on an
   // updatable engine, which has no KDashIndex). For stats/introspection;

@@ -1,5 +1,7 @@
 #include "core/estimator.h"
 
+#include <algorithm>
+
 namespace kdash::core {
 
 Scalar ProximityEstimator::EstimateDirect(
@@ -22,6 +24,20 @@ Scalar ProximityEstimator::EstimateDirect(
   }
   const Scalar term3 = (1.0 - selected_mass) * amax;
   return c_prime_of_node[static_cast<std::size_t>(u)] * (term1 + term2 + term3);
+}
+
+Scalar OwnedScoreBound(NodeId begin, NodeId end, Scalar amax,
+                       const std::vector<Scalar>& c_prime_of_node) {
+  KDASH_CHECK(begin >= 0 && begin <= end &&
+              static_cast<std::size_t>(end) <= c_prime_of_node.size());
+  Scalar max_c_prime = 0.0;
+  for (NodeId u = begin; u < end; ++u) {
+    max_c_prime =
+        std::max(max_c_prime, c_prime_of_node[static_cast<std::size_t>(u)]);
+  }
+  // Proximities are probabilities; never report a bound above 1 even for a
+  // pathological Amax · c′ product.
+  return std::min(1.0, amax * max_c_prime);
 }
 
 std::vector<Scalar> ComputeCPrime(const std::vector<Scalar>& a_diagonal,

@@ -146,6 +146,22 @@ class ProximityEstimator {
 std::vector<Scalar> ComputeCPrime(const std::vector<Scalar>& a_diagonal,
                                   Scalar restart_prob);
 
+// Query-independent upper bound on the proximity ANY query can assign to a
+// non-source node in the window [begin, end): min(1, Amax · max c′(u)).
+//
+// Why it is admissible: Definition 1's three terms sum Σ p·Amax(v) over
+// selected nodes plus (1 − Σp)·Amax over the remainder, and the total
+// selected mass never exceeds 1 (proximities are a sub-probability), so
+// the parenthesized sum is ≤ Amax for every node at every point of the
+// visit. Lemma 1 says the per-node estimate p̄(u) = c′(u)·(sums) bounds the
+// true proximity p(u) from above — so p(u) ≤ c′(u)·Amax for every u that
+// is not itself a restart source (a source has p̄ = 1 by definition and can
+// hold up to its full restart mass). The bound therefore applies to a
+// whole ownership window only when the window owns no query source; the
+// sharded fan-out always searches source-owning shards unconditionally.
+Scalar OwnedScoreBound(NodeId begin, NodeId end, Scalar amax,
+                       const std::vector<Scalar>& c_prime_of_node);
+
 }  // namespace kdash::core
 
 #endif  // KDASH_CORE_ESTIMATOR_H_

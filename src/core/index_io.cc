@@ -16,6 +16,7 @@
 #include "common/fault.h"
 #include "common/status.h"
 #include "common/timer.h"
+#include "core/estimator.h"
 #include "core/kdash_index.h"
 #include "obs/metrics.h"
 
@@ -391,6 +392,11 @@ Result<KDashIndex> KDashIndex::LoadStream(std::istream& in) {
       }
     }
   }
+  // The shard score bound is derived, not stored: recomputing it from the
+  // (validated) c′ table keeps the on-disk format unchanged while loaded
+  // shards skip exactly like freshly Restrict()ed ones.
+  index.owned_score_bound_ = OwnedScoreBound(
+      index.owned_begin_, index.owned_end_, state.amax, state.c_prime_of_node);
   index.shared_ = std::make_shared<const SharedState>(std::move(state));
   return index;
 }

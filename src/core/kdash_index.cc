@@ -80,6 +80,8 @@ KDashIndex KDashIndex::Build(const graph::Graph& graph,
         static_cast<Index>(state.adjacency.size());
   }
 
+  index.owned_score_bound_ = OwnedScoreBound(0, graph.num_nodes(), state.amax,
+                                             state.c_prime_of_node);
   index.shared_ = std::make_shared<const SharedState>(std::move(state));
   index.stats_.total_seconds = total_timer.Seconds();
   return index;
@@ -101,6 +103,8 @@ KDashIndex KDashIndex::Restrict(NodeId begin, NodeId end) const {
   // one index cost one L⁻¹/adjacency/estimator allocation plus P U⁻¹
   // slices.
   shard.shared_ = shared_;
+  shard.owned_score_bound_ =
+      OwnedScoreBound(begin, end, shared_->amax, shared_->c_prime_of_node);
 
   // Keep only the U⁻¹ rows of owned nodes. Ownership is an original-id
   // window but U⁻¹ lives in reordered space, so the kept rows are scattered:

@@ -1,6 +1,7 @@
 #include "core/kdash_searcher.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/check.h"
 
@@ -25,8 +26,11 @@ Scalar KDashSearcher::Proximity(NodeId u) const {
   // When it is, intersecting the row with y's support beats scanning the
   // whole row. The cutover only depends on the two nnz counts, so the same
   // query always takes the same path (deterministic scores).
-  const Index y_nnz = static_cast<Index>(y_rows_.size());
-  if (y_nnz * 4 < uinv.RowNnz(reordered)) {
+  // 64-bit: Index is 32-bit and a dense-support personalized query can put
+  // y_nnz within 4x of overflow, which would flip the compare and send the
+  // query down the (correct but slow) scan path.
+  const auto y_nnz = static_cast<std::int64_t>(y_rows_.size());
+  if (y_nnz * 4 < static_cast<std::int64_t>(uinv.RowNnz(reordered))) {
     return index_->restart_prob() * uinv.RowDotSparse(reordered, y_, y_rows_);
   }
   return index_->restart_prob() * uinv.RowDot(reordered, y_);
@@ -39,30 +43,45 @@ std::vector<ScoredNode> KDashSearcher::TopK(NodeId query, std::size_t k,
   const NodeId root =
       options.root_override == kInvalidNode ? query : options.root_override;
   KDASH_CHECK(root >= 0 && root < index_->num_nodes());
-  return Search({query}, /*scatter_weight=*/1.0, {root}, k, options, stats);
+  return Search({query}, {1.0}, {root}, k, options, stats);
 }
 
 std::vector<ScoredNode> KDashSearcher::TopKPersonalized(
     const std::vector<NodeId>& sources, std::size_t k,
     const SearchOptions& options, SearchStats* stats) {
   KDASH_CHECK(!sources.empty());
-  std::vector<NodeId> unique = sources;
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  for (const NodeId s : unique) {
+  // Counted dedup: a repeated source carries extra restart mass, so each
+  // unique source is weighted by multiplicity / |sources| — dropping the
+  // duplicates and renormalizing by 1/|unique| (the old behavior) silently
+  // rescaled the restart vector.
+  std::vector<NodeId> sorted = sources;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<NodeId> unique;
+  std::vector<Scalar> weights;
+  unique.reserve(sorted.size());
+  weights.reserve(sorted.size());
+  const Scalar per_occurrence = 1.0 / static_cast<Scalar>(sources.size());
+  for (const NodeId s : sorted) {
     KDASH_CHECK(s >= 0 && s < index_->num_nodes()) << "source " << s;
+    if (!unique.empty() && unique.back() == s) {
+      weights.back() += per_occurrence;
+    } else {
+      unique.push_back(s);
+      weights.push_back(per_occurrence);
+    }
   }
-  const Scalar weight = 1.0 / static_cast<Scalar>(unique.size());
   SearchOptions effective = options;
   effective.root_override = kInvalidNode;  // roots are the sources
-  return Search(unique, weight, unique, k, effective, stats);
+  return Search(unique, weights, unique, k, effective, stats);
 }
 
 std::vector<ScoredNode> KDashSearcher::Search(
-    const std::vector<NodeId>& sources, Scalar scatter_weight,
+    const std::vector<NodeId>& sources,
+    const std::vector<Scalar>& source_weights,
     const std::vector<NodeId>& roots, std::size_t k,
     const SearchOptions& options, SearchStats* stats) {
   KDASH_CHECK(k > 0);
+  KDASH_CHECK(sources.size() == source_weights.size());
 
   // Mark the exclusion set (cleared at the end of the query): the owned
   // list plus the caller's non-owning view.
@@ -84,13 +103,14 @@ std::vector<ScoredNode> KDashSearcher::Search(
   // inverse lower factor, one per source, scaled by the restart weight.
   const sparse::CscMatrix& linv = index_->lower_inverse();
   y_rows_.clear();
-  for (const NodeId source : sources) {
+  for (std::size_t s = 0; s < sources.size(); ++s) {
     const NodeId reordered =
-        index_->new_of_old()[static_cast<std::size_t>(source)];
+        index_->new_of_old()[static_cast<std::size_t>(sources[s])];
+    const Scalar weight = source_weights[s];
     const Index col_end = linv.ColEnd(reordered);
     for (Index t = linv.ColBegin(reordered); t < col_end; ++t) {
       const NodeId row = linv.RowIndex(t);
-      y_[static_cast<std::size_t>(row)] += scatter_weight * linv.Value(t);
+      y_[static_cast<std::size_t>(row)] += weight * linv.Value(t);
       y_rows_.push_back(row);
     }
   }

@@ -81,21 +81,24 @@ class KDashSearcher {
                                const SearchOptions& options = {},
                                SearchStats* stats = nullptr);
 
-  // Personalized top-k: the walk restarts uniformly into `sources` (the
-  // Personalized PageRank start-set semantics the paper contrasts with RWR
-  // in Section 6). Exact, like TopK: the estimator's Lemma 1 argument
-  // carries over to a multi-source BFS tree, with every source a layer-0
-  // root. Duplicate sources are ignored.
+  // Personalized top-k: the walk restarts into `sources` (the Personalized
+  // PageRank start-set semantics the paper contrasts with RWR in
+  // Section 6), each occurrence carrying 1/|sources| of the restart mass —
+  // a duplicated source gets proportionally more weight, matching an
+  // explicit restart-vector solve over the raw list. Exact, like TopK: the
+  // estimator's Lemma 1 argument carries over to a multi-source BFS tree,
+  // with every source a layer-0 root.
   std::vector<ScoredNode> TopKPersonalized(const std::vector<NodeId>& sources,
                                            std::size_t k,
                                            const SearchOptions& options = {},
                                            SearchStats* stats = nullptr);
 
  private:
-  // Shared engine. `scatter_weight` scales each source's L⁻¹ column when
-  // building y; `roots` seed layer 0 of the BFS in visit order.
+  // Shared engine. `source_weights[i]` (parallel to `sources`) scales
+  // source i's L⁻¹ column when building y; `roots` seed layer 0 of the BFS
+  // in visit order.
   std::vector<ScoredNode> Search(const std::vector<NodeId>& sources,
-                                 Scalar scatter_weight,
+                                 const std::vector<Scalar>& source_weights,
                                  const std::vector<NodeId>& roots,
                                  std::size_t k, const SearchOptions& options,
                                  SearchStats* stats);

@@ -54,6 +54,10 @@ namespace kdash::obs {
 // literal is listed here, and every entry is used somewhere. Keep it
 // sorted.
 inline constexpr std::string_view kKnownMetrics[] = {
+    "cache.evicted",            // result-cache entries displaced at capacity
+    "cache.hit",                // scheduler answered from the result cache
+    "cache.invalidated",        // entries purged by an epoch change
+    "cache.miss",               // lookup fell through to the backend
     "engine.search_us",         // per-query latency inside Engine::Search*
     "engine.searcher_created",  // checkout miss: a new searcher was built
     "engine.searcher_reused",   // checkout hit: an idle searcher was popped
@@ -80,6 +84,7 @@ inline constexpr std::string_view kKnownMetrics[] = {
     "serving.shard_failures",
     "serving.shard_latency_us.s<N>",  // shard N search latency
     "serving.shard_retries",
+    "serving.shards_skipped",   // fan-outs pruned by the shard score bound
 };
 
 // Monotonic counter. Adds land on one of kStripes cache-line-padded atomic

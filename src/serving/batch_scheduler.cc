@@ -21,20 +21,6 @@ bool IsTransient(StatusCode code) {
          code == StatusCode::kResourceExhausted;
 }
 
-// Total order over queries so identical requests sort adjacent. Two queries
-// compare equal only when every field that affects the answer matches, so
-// coalesced requests are guaranteed the same result.
-int CompareQueries(const Query& a, const Query& b) {
-  if (a.k != b.k) return a.k < b.k ? -1 : 1;
-  if (a.use_pruning != b.use_pruning) return a.use_pruning ? -1 : 1;
-  if (a.root_override != b.root_override) {
-    return a.root_override < b.root_override ? -1 : 1;
-  }
-  if (a.sources != b.sources) return a.sources < b.sources ? -1 : 1;
-  if (a.exclude != b.exclude) return a.exclude < b.exclude ? -1 : 1;
-  return 0;
-}
-
 }  // namespace
 
 BatchScheduler::Metrics BatchScheduler::ResolveMetrics() {
@@ -66,6 +52,12 @@ BatchScheduler::BatchScheduler(Backend backend,
   KDASH_CHECK(options_.max_wait.count() >= 0);
   KDASH_CHECK(options_.max_retries >= 0);
   KDASH_CHECK(options_.retry_backoff.count() >= 0);
+  if (options_.cache_entries > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_entries);
+    if (options_.backend_epoch != nullptr) {
+      last_backend_epoch_ = options_.backend_epoch();
+    }
+  }
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -153,6 +145,17 @@ void BatchScheduler::SchedulerLoop() {
 }
 
 void BatchScheduler::RunBatch(std::vector<Request> batch) {
+  // Invalidate before any lookup: a mutation that returned before a request
+  // was submitted happens-before this poll, so that request can never read
+  // a pre-mutation entry below.
+  if (cache_ != nullptr && options_.backend_epoch != nullptr) {
+    const std::uint64_t backend_epoch = options_.backend_epoch();
+    if (backend_epoch != last_backend_epoch_) {
+      last_backend_epoch_ = backend_epoch;
+      cache_->Invalidate();
+    }
+  }
+
   // Expire overdue requests without touching the backend. Their promises
   // are fulfilled below, after the stats update — a caller that has seen
   // all its futures resolve must also see them counted.
@@ -211,28 +214,72 @@ void BatchScheduler::RunBatch(std::vector<Request> batch) {
         queries.push_back(std::move(live[i].query));
       } else {
         ++coalesced;
+        // Query identity excludes `trace`, so a traced request can coalesce
+        // behind an untraced group head — whose null context would swallow
+        // every engine/shard span. Promote the first traced duplicate's
+        // context onto the head (a shared_ptr copy; the duplicate's own
+        // context already carries its queue span, stamped above).
+        if (queries.back().trace == nullptr &&
+            live[i].query.trace != nullptr) {
+          queries.back().trace = live[i].query.trace;
+        }
       }
       unique_of[i] = queries.size() - 1;
     }
 
-    auto results = InvokeBackend(queries);
+    // Runs the given distinct queries through the backend — whole-batch
+    // first, per-query on a batch-level error (e.g. one malformed query
+    // fails an Engine::SearchBatch) so only the bad ones fail.
+    const auto invoke = [&](std::span<const Query> distinct) {
+      std::vector<Result<SearchResult>> invoked;
+      invoked.reserve(distinct.size());
+      auto results = InvokeBackend(distinct);
+      if (results.ok()) {
+        KDASH_CHECK(results->size() == distinct.size())
+            << "backend returned " << results->size() << " results for "
+            << distinct.size() << " queries";
+        for (auto& result : *results) invoked.push_back(std::move(result));
+      } else {
+        for (std::size_t u = 0; u < distinct.size(); ++u) {
+          auto single = InvokeBackend({&distinct[u], 1});
+          invoked.push_back(single.ok()
+                                ? Result<SearchResult>(
+                                      std::move(single->front()))
+                                : Result<SearchResult>(single.status()));
+        }
+      }
+      return invoked;
+    };
+
     std::vector<Result<SearchResult>> per_unique;
     per_unique.reserve(queries.size());
-    if (results.ok()) {
-      KDASH_CHECK(results->size() == queries.size())
-          << "backend returned " << results->size() << " results for "
-          << queries.size() << " queries";
-      for (auto& result : *results) per_unique.push_back(std::move(result));
+    if (cache_ == nullptr) {
+      per_unique = invoke(queries);
     } else {
-      // Whole-batch failure (e.g. one malformed query fails an
-      // Engine::SearchBatch). Retry per distinct query so only the bad
-      // ones fail.
+      // Cache path: look every distinct query up, run only the misses, and
+      // admit their results under the epoch captured before the backend ran
+      // (an Invalidate in between rejects the admission).
+      const std::uint64_t admit_epoch = cache_->epoch();
+      std::vector<SearchResult> hit_results(queries.size());
+      std::vector<char> hit(queries.size(), 0);
+      std::vector<Query> miss_queries;
       for (std::size_t u = 0; u < queries.size(); ++u) {
-        auto single = InvokeBackend({&queries[u], 1});
-        per_unique.push_back(single.ok()
-                                 ? Result<SearchResult>(
-                                       std::move(single->front()))
-                                 : Result<SearchResult>(single.status()));
+        hit[u] = cache_->Lookup(queries[u], &hit_results[u]) ? 1 : 0;
+        if (!hit[u]) miss_queries.push_back(queries[u]);
+      }
+      std::vector<Result<SearchResult>> miss_results;
+      if (!miss_queries.empty()) miss_results = invoke(miss_queries);
+      std::size_t m = 0;
+      for (std::size_t u = 0; u < queries.size(); ++u) {
+        if (hit[u]) {
+          per_unique.push_back(std::move(hit_results[u]));
+        } else {
+          if (miss_results[m].ok()) {
+            cache_->Admit(queries[u], admit_epoch, *miss_results[m]);
+          }
+          per_unique.push_back(std::move(miss_results[m]));
+          ++m;
+        }
       }
     }
     // Fan each unique result out to its consumers, copying only for
@@ -301,6 +348,10 @@ Result<std::vector<SearchResult>> BatchScheduler::InvokeBackend(
     if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
     backoff = std::min(backoff * 2, options_.max_retry_backoff);
   }
+}
+
+void BatchScheduler::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Invalidate();
 }
 
 void BatchScheduler::Shutdown() {

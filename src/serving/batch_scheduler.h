@@ -43,6 +43,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
@@ -53,6 +54,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "obs/metrics.h"
+#include "serving/result_cache.h"
 
 namespace kdash::serving {
 
@@ -75,6 +77,21 @@ struct BatchSchedulerOptions {
   int max_retries = 2;
   std::chrono::microseconds retry_backoff{200};
   std::chrono::microseconds max_retry_backoff{20'000};
+
+  // Cross-batch result cache (serving/result_cache.h): keep the complete
+  // results of up to this many distinct queries and answer repeats without
+  // touching the backend. 0 (the default) disables caching — results and
+  // stats are then exactly the pre-cache scheduler's.
+  std::size_t cache_entries = 0;
+
+  // Invalidation hook for updatable backends: polled once per batch; when
+  // the returned value differs from the last poll the cache is purged
+  // before any lookup. Wire it to Engine::update_epoch so a query submitted
+  // after AddEdge/RemoveEdge returns can never see a pre-mutation entry
+  // (the mutation happens-before Submit, Submit happens-before the batch's
+  // poll, and the poll invalidates before the batch's lookups). Leave unset
+  // for immutable backends.
+  std::function<std::uint64_t()> backend_epoch;
 };
 
 class BatchScheduler {
@@ -103,6 +120,10 @@ class BatchScheduler {
   // Stop accepting, drain every accepted request, join the thread.
   // Idempotent and safe to call concurrently with Submit.
   void Shutdown();
+
+  // Purge the result cache (no-op when cache_entries == 0). For callers
+  // that mutate the backend out of band of the backend_epoch hook.
+  void InvalidateCache();
 
   // Every Submit call lands in exactly one of {rejected, shed, submitted},
   // and every submitted request eventually lands in exactly one of
@@ -171,6 +192,12 @@ class BatchScheduler {
   Backend backend_;
   BatchSchedulerOptions options_;
   Metrics metrics_;
+
+  // Cross-batch result cache; null when cache_entries == 0. The cache has
+  // its own mutex; last_backend_epoch_ is touched only by the scheduler
+  // thread (RunBatch).
+  std::unique_ptr<ResultCache> cache_;
+  std::uint64_t last_backend_epoch_ = 0;
 
   mutable Mutex mutex_;
   Mutex join_mutex_;  // serializes concurrent Shutdown joins

@@ -26,6 +26,12 @@ struct ShardedEngine::ControlBlock {
   std::atomic<std::uint64_t> shard_failures{0};
   std::atomic<std::uint64_t> shard_retries{0};
   std::atomic<std::uint64_t> degraded_queries{0};
+  std::atomic<std::uint64_t> shards_skipped{0};
+
+  // Bound-based shard skipping (see the header). On by default; an atomic
+  // bool rather than policy state because flipping it mid-flight is safe —
+  // any individual fan-out reads it once.
+  std::atomic<bool> skip_enabled{true};
 
   // Registry mirrors of the counters above (process-cumulative, across
   // every ShardedEngine) plus the per-shard latency histograms, resolved
@@ -38,6 +44,8 @@ struct ShardedEngine::ControlBlock {
       &obs::MetricRegistry::Global().GetCounter("serving.shard_retries");
   obs::Counter* m_degraded_queries =
       &obs::MetricRegistry::Global().GetCounter("serving.degraded_queries");
+  obs::Counter* m_shards_skipped =
+      &obs::MetricRegistry::Global().GetCounter("serving.shards_skipped");
   obs::Histogram* m_merge_us =
       &obs::MetricRegistry::Global().GetHistogram("serving.merge_us");
   std::vector<obs::Histogram*> m_shard_latency_us;
@@ -77,6 +85,18 @@ std::string ShardedEngine::FailureStats::ToJson() const {
   return "{\"shard_failures\":" + std::to_string(shard_failures) +
          ",\"shard_retries\":" + std::to_string(shard_retries) +
          ",\"degraded_queries\":" + std::to_string(degraded_queries) + "}";
+}
+
+bool ShardedEngine::skip_enabled() const {
+  return control_->skip_enabled.load(std::memory_order_relaxed);
+}
+
+void ShardedEngine::set_skip_enabled(bool enabled) {
+  control_->skip_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t ShardedEngine::shards_skipped() const {
+  return control_->shards_skipped.load(std::memory_order_relaxed);
 }
 
 ShardFailurePolicy ShardedEngine::failure_policy() const {
@@ -174,8 +194,17 @@ Result<ShardedEngine> ShardedEngine::Build(const graph::Graph& graph,
       });
   sharded.shards_.reserve(static_cast<std::size_t>(num_shards));
   for (auto& shard : shards) sharded.shards_.push_back(std::move(*shard));
+  sharded.InitShardScoreBounds();
   sharded.control_->InitShardMetrics(sharded.shards_.size());
   return sharded;
+}
+
+void ShardedEngine::InitShardScoreBounds() {
+  shard_score_bounds_.clear();
+  shard_score_bounds_.reserve(shards_.size());
+  for (const Engine& shard : shards_) {
+    shard_score_bounds_.push_back(shard.index().owned_score_bound());
+  }
 }
 
 Status ShardedEngine::Save(const std::string& dir) const {
@@ -308,6 +337,7 @@ Result<ShardedEngine> ShardedEngine::Open(const std::string& dir) {
   sharded.bounds_ = std::move(bounds);
   sharded.shards_.reserve(shard_count);
   for (auto& engine : loaded) sharded.shards_.push_back(std::move(*engine));
+  sharded.InitShardScoreBounds();
   sharded.control_->InitShardMetrics(shard_count);
   return sharded;
 }
@@ -369,22 +399,102 @@ Result<std::vector<SearchResult>> ShardedEngine::FanOut(
     std::span<const Query> queries) const {
   const std::size_t num_queries = queries.size();
   const auto shard_count = shards_.size();
-  const auto task_count = static_cast<Index>(num_queries * shard_count);
   const ShardFailurePolicy policy = failure_policy();  // one snapshot per call
 
-  // One flat (query × shard) loop: partial answers land in fixed slots, so
+  // Flat (query × shard) slots: partial answers land in fixed positions, so
   // the merge below is deterministic regardless of which worker ran what.
   std::vector<SearchResult> partials(num_queries * shard_count);
   std::vector<Status> statuses(num_queries * shard_count);
-  Pool().ParallelFor(0, task_count, /*grain=*/1, [&](Index begin, Index end,
-                                                     int) {
-    for (Index t = begin; t < end; ++t) {
-      const auto i = static_cast<std::size_t>(t);
-      const std::size_t q = i / shard_count;
-      const std::size_t s = i % shard_count;
-      statuses[i] = SearchShard(queries[q], s, policy, &partials[i]);
+
+  // Runs the given flat slots on the pool.
+  const auto run_slots = [&](const std::vector<Index>& slots) {
+    Pool().ParallelFor(
+        0, static_cast<Index>(slots.size()), /*grain=*/1,
+        [&](Index begin, Index end, int) {
+          for (Index t = begin; t < end; ++t) {
+            const auto i =
+                static_cast<std::size_t>(slots[static_cast<std::size_t>(t)]);
+            const std::size_t q = i / shard_count;
+            const std::size_t s = i % shard_count;
+            statuses[i] = SearchShard(queries[q], s, policy, &partials[i]);
+          }
+        });
+  };
+
+  const bool skip = shard_count > 1 &&
+                    control_->skip_enabled.load(std::memory_order_relaxed);
+  if (!skip) {
+    std::vector<Index> all(num_queries * shard_count);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<Index>(i);
     }
-  });
+    run_slots(all);
+  } else {
+    // Phase A: source-owning shards are mandatory — the per-shard score
+    // bound holds only for non-source nodes (a source's own proximity can
+    // reach c). Their exact partial top-k seeds each query's threshold.
+    std::vector<char> mandatory(num_queries * shard_count, 0);
+    const auto shard_of = [&](NodeId u) {
+      return static_cast<std::size_t>(
+                 std::upper_bound(bounds_.begin(), bounds_.end(), u) -
+                 bounds_.begin()) -
+             1;
+    };
+    std::vector<Index> phase_a;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      for (const NodeId source : queries[q].sources) {
+        // An out-of-range source is a caller bug every shard rejects
+        // identically; leave it to per-shard validation in phase B.
+        if (source < 0 || source >= num_nodes_) continue;
+        char& slot = mandatory[q * shard_count + shard_of(source)];
+        if (!slot) {
+          slot = 1;
+          phase_a.push_back(
+              static_cast<Index>(q * shard_count + shard_of(source)));
+        }
+      }
+    }
+    run_slots(phase_a);
+
+    // Phase B: every remaining shard whose bound could still beat the
+    // threshold the mandatory partials establish. A skipped slot keeps its
+    // default Ok status and empty partial — the merge below then counts it
+    // as a surviving shard that contributed no candidates, which is exactly
+    // what the bound proves.
+    std::vector<Index> phase_b;
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      Scalar theta = 0.0;
+      if (queries[q].k > 0) {  // k == 0 is invalid; let phase B report it
+        TopKHeap seed(queries[q].k);
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          const std::size_t i = q * shard_count + s;
+          if (!mandatory[i] || !statuses[i].ok()) continue;
+          for (const ScoredNode& entry : partials[i].top) {
+            seed.Push(entry.node, entry.score);
+          }
+        }
+        // 0 until k candidates exist — a partial heap can never justify a
+        // skip. Under kDegrade a failed mandatory shard only lowers θ,
+        // which is conservative.
+        theta = seed.Threshold();
+      }
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        const std::size_t i = q * shard_count + s;
+        if (mandatory[i]) continue;
+        // Strict <: a tied score with a smaller node id could still enter
+        // under the (score desc, id asc) total order.
+        if (theta > 0.0 && shard_score_bounds_[s] < theta) {
+          control_->shards_skipped.fetch_add(1, std::memory_order_relaxed);
+          control_->m_shards_skipped->Add();
+          obs::ScopedSpan span(queries[q].trace.get(), "sharded.shard_skip",
+                               static_cast<int>(s));
+        } else {
+          phase_b.push_back(static_cast<Index>(i));
+        }
+      }
+    }
+    run_slots(phase_b);
+  }
 
   const auto fail_query = [&](std::size_t q,
                               const Status& status) -> Status {

@@ -138,6 +138,31 @@ class ShardedEngine {
   NodeId shard_begin(int s) const { return bounds_[static_cast<std::size_t>(s)]; }
   NodeId shard_end(int s) const { return bounds_[static_cast<std::size_t>(s) + 1]; }
 
+  // ---- shard-skip acceleration --------------------------------------------
+  //
+  // Each shard carries a precomputed upper bound on the proximity any query
+  // can assign to a NON-SOURCE node it owns (KDashIndex::owned_score_bound,
+  // derived from the Lemma-1 estimator: p(u) ≤ c′(u)·Amax). The fan-out
+  // first searches the source-owning shards — mandatory, since a source
+  // escapes the bound — then skips any remaining shard whose bound is
+  // strictly below the top-k threshold those partials establish: no owned
+  // node of a skipped shard can displace k already-found candidates under
+  // the (score desc, id asc) total order, so results stay bit-identical.
+  // With c = 0.95 the bound is ≈ 0.05, so skips fire mostly on k=1
+  // single-source workloads where the source shard alone yields θ ≈ c.
+  bool skip_enabled() const;
+  void set_skip_enabled(bool enabled);
+
+  // Cumulative (query, shard) fan-out slots pruned by the bound, across
+  // every Search/SearchBatch on this engine. Also mirrored into the
+  // process-wide "serving.shards_skipped" counter.
+  std::uint64_t shards_skipped() const;
+
+  // Shard s's precomputed score bound (diagnostics/tests).
+  Scalar shard_score_bound(int s) const {
+    return shard_score_bounds_[static_cast<std::size_t>(s)];
+  }
+
   // Failure policy. The setter is for engines opened from disk (Open takes
   // no options). Both are thread-safe: the policy lives behind its own
   // mutex and every fan-out snapshots it once at entry, so a concurrent
@@ -172,10 +197,17 @@ class ShardedEngine {
 
   ShardedEngine();
 
-  // Runs every (query, shard) pair on the serving pool, then merges shard
-  // partial top lists per query. Snapshots the failure policy once.
+  // Runs (query, shard) pairs on the serving pool in two phases — the
+  // source-owning shards first, then every non-skipped remainder — and
+  // merges shard partial top lists per query. A skipped slot keeps its
+  // default Ok status and empty partial, so the merge treats it as a
+  // surviving shard that contributed no candidates. Snapshots the failure
+  // policy once.
   [[nodiscard]] Result<std::vector<SearchResult>> FanOut(
       std::span<const Query> queries) const;
+
+  // Fills shard_score_bounds_ from the shards' indexes (Build/Open tail).
+  void InitShardScoreBounds();
 
   // One shard's attempt(s) at one query under the given policy snapshot:
   // evaluates the fault-injection sites, retries with bounded exponential
@@ -191,6 +223,7 @@ class ShardedEngine {
   NodeId num_nodes_ = 0;
   std::vector<NodeId> bounds_;  // P + 1 fenceposts: shard s = [b[s], b[s+1])
   std::vector<Engine> shards_;
+  std::vector<Scalar> shard_score_bounds_;  // parallel to shards_
   std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<ControlBlock> control_;
 };

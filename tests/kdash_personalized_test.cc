@@ -16,9 +16,11 @@ namespace {
 std::vector<ScoredNode> GroundTruthPersonalized(
     const sparse::CscMatrix& a, const std::vector<NodeId>& sources,
     std::size_t k, Scalar c) {
+  // Each occurrence carries 1/|sources| of restart mass, so a node listed
+  // twice accumulates twice the weight — the searcher's contract.
   std::vector<Scalar> restart(static_cast<std::size_t>(a.cols()), 0.0);
   for (const NodeId s : sources) {
-    restart[static_cast<std::size_t>(s)] =
+    restart[static_cast<std::size_t>(s)] +=
         1.0 / static_cast<Scalar>(sources.size());
   }
   rwr::PowerIterationOptions options;
@@ -46,12 +48,49 @@ TEST(PersonalizedTest, SingletonSetMatchesPlainTopK) {
   }
 }
 
-TEST(PersonalizedTest, DuplicateSourcesIgnored) {
+TEST(PersonalizedTest, DuplicateSourcesWeightByMultiplicity) {
+  // {9, 5, 5, 9, 5} is the restart vector {5: 3/5, 9: 2/5} — NOT the
+  // uniform {5: 1/2, 9: 1/2} a dedup-first implementation would compute.
+  // Checked against an explicit restart-vector power-iteration solve.
+  const auto g = test::RandomDirectedGraph(60, 350, 82);
+  const auto a = g.NormalizedAdjacency();
+  const auto index = KDashIndex::Build(g, {});
+  KDashSearcher searcher(&index);
+
+  const std::vector<NodeId> sources{9, 5, 5, 9, 5};
+  const auto got = searcher.TopKPersonalized(sources, 6);
+  const auto truth = GroundTruthPersonalized(a, sources, 6, 0.95);
+  ASSERT_EQ(got.size(), truth.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, truth[i].node) << "rank " << i;
+    EXPECT_NEAR(got[i].score, truth[i].score, 1e-9) << "rank " << i;
+  }
+
+  // The lopsided restart set must rank the thrice-listed source above the
+  // twice-listed one — the observable difference dedup used to erase.
+  const auto scores = [&](const std::vector<ScoredNode>& top) {
+    Scalar s5 = -1.0, s9 = -1.0;
+    for (const auto& entry : top) {
+      if (entry.node == 5) s5 = entry.score;
+      if (entry.node == 9) s9 = entry.score;
+    }
+    return std::make_pair(s5, s9);
+  };
+  const auto [s5, s9] = scores(got);
+  ASSERT_GE(s5, 0.0);
+  ASSERT_GE(s9, 0.0);
+  EXPECT_GT(s5, s9);
+}
+
+TEST(PersonalizedTest, UniformDuplicationMatchesDedupedSet) {
+  // When every source appears the same number of times the multiplicity
+  // weights reduce to the uniform distribution, so {5,9,5,9} and {5,9} are
+  // the same query.
   const auto g = test::RandomDirectedGraph(60, 350, 82);
   const auto index = KDashIndex::Build(g, {});
   KDashSearcher searcher(&index);
   const auto deduped = searcher.TopKPersonalized({5, 9}, 6);
-  const auto duplicated = searcher.TopKPersonalized({9, 5, 5, 9, 5}, 6);
+  const auto duplicated = searcher.TopKPersonalized({5, 9, 5, 9}, 6);
   ASSERT_EQ(deduped.size(), duplicated.size());
   for (std::size_t i = 0; i < deduped.size(); ++i) {
     EXPECT_EQ(deduped[i].node, duplicated[i].node);
@@ -73,11 +112,11 @@ TEST_P(PersonalizedExactnessTest, MatchesPowerIterationRestartVector) {
   const auto index = KDashIndex::Build(g, options);
   KDashSearcher searcher(&index);
 
+  // A raw multiset: birthday collisions at set_size=12 give some draws
+  // genuine duplicates, so the sweep also covers multiplicity weighting.
   Rng rng(static_cast<std::uint64_t>(seed));
   std::vector<NodeId> sources;
   for (int s = 0; s < set_size; ++s) sources.push_back(rng.NextNode(n));
-  std::sort(sources.begin(), sources.end());
-  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
 
   const auto got = searcher.TopKPersonalized(sources, 10);
   const auto truth = GroundTruthPersonalized(a, sources, 10, c);

@@ -118,6 +118,103 @@ TEST(ShardedEngineTest, SearchBatchMatchesSingleEngineBatch) {
   }
 }
 
+TEST(ShardedEngineTest, ScoreBoundSkipFiresAndStaysBitIdentical) {
+  // k=1 single-source queries are the regime where the Lemma-1 shard bound
+  // bites: the source shard alone pushes the cross-shard threshold to
+  // ≈ c = 0.95, far above the non-source shards' c′·Amax ≈ 0.05 bounds.
+  // With skipping live the results must STILL be bit-identical to the
+  // single engine — the whole point of an admissible bound.
+  const auto g = test::RandomDirectedGraph(150, 900, 29);
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  std::vector<Query> queries;
+  for (NodeId q = 0; q < g.num_nodes(); q += 7) {
+    queries.push_back(Query::Single(q, 1));
+  }
+
+  bool any_skipped = false;
+  for (const int num_shards : kShardCounts) {
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    auto sharded = ShardedEngine::Build(g, options);
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_TRUE(sharded->skip_enabled());  // on by default
+    for (int s = 0; s < num_shards; ++s) {
+      EXPECT_GT(sharded->shard_score_bound(s), 0.0);
+      EXPECT_LE(sharded->shard_score_bound(s), 1.0);
+    }
+    ExpectIdentical(*single, *sharded, queries,
+                    ("skip-on/P=" + std::to_string(num_shards)).c_str());
+    if (num_shards > 1) {
+      EXPECT_GT(sharded->shards_skipped(), 0u)
+          << "P=" << num_shards
+          << ": a k=1 workload must skip some non-source shard";
+    } else {
+      EXPECT_EQ(sharded->shards_skipped(), 0u) << "P=1 has nothing to skip";
+    }
+    any_skipped = any_skipped || sharded->shards_skipped() > 0;
+  }
+  EXPECT_TRUE(any_skipped);
+}
+
+TEST(ShardedEngineTest, DisablingSkipVisitsEveryShardAndMatches) {
+  const auto g = test::RandomDirectedGraph(150, 900, 29);
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto sharded = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(sharded.ok());
+  sharded->set_skip_enabled(false);
+  EXPECT_FALSE(sharded->skip_enabled());
+
+  std::vector<Query> queries;
+  for (NodeId q = 0; q < g.num_nodes(); q += 7) {
+    queries.push_back(Query::Single(q, 1));
+  }
+  ExpectIdentical(*single, *sharded, queries, "skip-off/P=3");
+  EXPECT_EQ(sharded->shards_skipped(), 0u);
+}
+
+TEST(ShardedEngineTest, MixedWorkloadWithSkipStaysBitIdentical) {
+  // The full mixed workload (personalized sets, exclusions, large k,
+  // pruning off) through a skip-enabled fan-out: source-owning shards are
+  // mandatory and multi-source/multi-shard queries rarely skip, but the
+  // decision logic runs on every query and must never change an answer.
+  const auto g = test::RandomDirectedGraph(150, 900, 13);
+  auto single = Engine::Build(g);
+  ASSERT_TRUE(single.ok());
+  for (const int num_shards : kShardCounts) {
+    ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    auto sharded = ShardedEngine::Build(g, options);
+    ASSERT_TRUE(sharded.ok());
+    ExpectIdentical(*single, *sharded, MixedQueries(g.num_nodes()),
+                    ("mixed-skip/P=" + std::to_string(num_shards)).c_str());
+  }
+}
+
+TEST(ShardedEngineTest, ShardScoreBoundsSurviveSaveOpen) {
+  // The bound is derived at load time from the validated c′ table, not
+  // stored: a reopened directory must skip exactly like the built engine.
+  const auto g = test::RandomDirectedGraph(90, 500, 19);
+  ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto built = ShardedEngine::Build(g, options);
+  ASSERT_TRUE(built.ok());
+
+  const std::string dir = ::testing::TempDir() + "/kdash_sharded_bounds";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(built->Save(dir).ok());
+  auto opened = ShardedEngine::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(opened->shard_score_bound(s), built->shard_score_bound(s))
+        << "shard " << s;
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ShardedEngineTest, ShardsOwnDisjointCoveringRangesAndSplitStorage) {
   const auto g = test::RandomDirectedGraph(100, 600, 17);
   ShardedEngineOptions options;

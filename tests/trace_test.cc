@@ -155,9 +155,12 @@ TEST(TraceEndToEndTest, ShardedSearchStampsPerShardAndMergeSpans) {
   ASSERT_TRUE(sharded->Search(query).ok());
 
   EXPECT_TRUE(HasStage(*query.trace, "sharded.merge"));
+  // Every shard is accounted for exactly once: searched ("shard_search")
+  // or provably below the cross-shard threshold ("shard_skip").
   std::vector<int> shard_indices;
   for (const Span& span : query.trace->spans()) {
-    if (span.stage == "sharded.shard_search") {
+    if (span.stage == "sharded.shard_search" ||
+        span.stage == "sharded.shard_skip") {
       shard_indices.push_back(span.index);
     }
   }
@@ -166,6 +169,79 @@ TEST(TraceEndToEndTest, ShardedSearchStampsPerShardAndMergeSpans) {
   // The shard-local Engine runs with a detached trace, so per-shard
   // "engine.search" spans never duplicate the shard spans.
   EXPECT_FALSE(HasStage(*query.trace, "engine.search"));
+}
+
+TEST(TraceEndToEndTest, SkippedShardStampsSkipSpan) {
+  serving::ShardedEngineOptions options;
+  options.num_shards = 3;
+  auto sharded = serving::ShardedEngine::Build(
+      test::RandomDirectedGraph(150, 900, 29), options);
+  ASSERT_TRUE(sharded.ok());
+  // k=1 single-source: the source shard's answer alone pushes the
+  // threshold above the other shards' score bounds.
+  Query query = Query::Single(0, 1);
+  query.trace = std::make_shared<TraceContext>();
+  ASSERT_TRUE(sharded->Search(query).ok());
+  ASSERT_TRUE(HasStage(*query.trace, "sharded.shard_skip"));
+
+  // Disabling skipping removes the spans again.
+  sharded->set_skip_enabled(false);
+  Query unskipped = Query::Single(0, 1);
+  unskipped.trace = std::make_shared<TraceContext>();
+  ASSERT_TRUE(sharded->Search(unskipped).ok());
+  EXPECT_FALSE(HasStage(*unskipped.trace, "sharded.shard_skip"));
+}
+
+TEST(TraceEndToEndTest, CoalescedTracedRequestKeepsComputeSpans) {
+  // An untraced request and a traced duplicate land in the same batch, the
+  // untraced one first. Coalescing computes the group once — the traced
+  // request must still come back with the engine/compute spans (the traced
+  // context is promoted to group head), not just its own queue span.
+  auto engine = Engine::Build(test::SmallDirectedGraph(), {});
+  ASSERT_TRUE(engine.ok());
+
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<int> calls{0};
+  serving::BatchSchedulerOptions options;
+  options.max_batch_size = 8;
+  serving::BatchScheduler scheduler(
+      [&](std::span<const Query> batch) {
+        if (calls.fetch_add(1) == 0) released.wait();  // pin the first batch
+        return engine->SearchBatch(batch);
+      },
+      options);
+
+  // Occupy the scheduler thread so the next two submissions provably queue
+  // into one batch, in submission order.
+  auto gate = scheduler.Submit(Query::Single(1, 2));
+  while (calls.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Query untraced = Query::Single(0, 3);
+  Query traced = Query::Single(0, 3);
+  traced.trace = std::make_shared<TraceContext>();
+  auto first = scheduler.Submit(untraced);
+  auto second = scheduler.Submit(traced);
+  release.set_value();
+
+  ASSERT_TRUE(gate.get().ok());
+  const auto untraced_result = first.get();
+  const auto traced_result = second.get();
+  ASSERT_TRUE(untraced_result.ok());
+  ASSERT_TRUE(traced_result.ok());
+  scheduler.Shutdown();
+
+  EXPECT_TRUE(HasStage(*traced.trace, "scheduler.queue"));
+  EXPECT_TRUE(HasStage(*traced.trace, "engine.search"))
+      << "coalescing behind an untraced head must not lose compute spans";
+
+  // Coalesced answers stay identical regardless of which request computed.
+  ASSERT_EQ(untraced_result->top.size(), traced_result->top.size());
+  for (std::size_t r = 0; r < traced_result->top.size(); ++r) {
+    EXPECT_EQ(untraced_result->top[r].node, traced_result->top[r].node);
+    EXPECT_EQ(untraced_result->top[r].score, traced_result->top[r].score);
+  }
 }
 
 }  // namespace

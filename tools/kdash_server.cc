@@ -8,6 +8,7 @@
 //   kdash_server <index.kdash | sharded-index-dir/> [--k=5] [--batch=64]
 //                [--wait-us=500] [--deadline-ms=0] [--window=256]
 //                [--max-queue=4096] [--degrade=fail|retry|degrade]
+//                [--cache-entries=1024] [--no-shard-skip]
 //                [--port=7607] [--stats-period=0]
 //
 // The index argument is a single-index file, or a directory written by
@@ -28,6 +29,12 @@
 //   --degrade=MODE   sharded-index failure policy: fail (default), retry,
 //                    or degrade (serve partial top-k from live shards,
 //                    tagged with "shards_failed")
+//
+//   --cache-entries=N  cross-batch result cache capacity (distinct query
+//                    identities); repeats of a cached query are answered
+//                    without touching the backend (0 = caching off)
+//   --no-shard-skip  disable the score-bound shard-skip optimization on
+//                    sharded indexes (every query visits every shard)
 //
 //   --stats-period=N per-process metric snapshot (obs::MetricRegistry) to
 //                    stderr every N seconds (0 = off)
@@ -81,8 +88,11 @@ struct ServerConfig {
   std::size_t window = 256;               // max in-flight requests per stream
   int port = -1;                          // -1 = stdin/stdout mode
   std::chrono::seconds stats_period{0};   // 0 = no periodic stats dump
+  bool shard_skip = true;                 // sharded indexes only
   serving::BatchSchedulerOptions scheduler;
   serving::ShardFailurePolicy failure_policy;  // sharded indexes only
+
+  ServerConfig() { scheduler.cache_entries = 1024; }
 };
 
 int Usage() {
@@ -92,6 +102,7 @@ int Usage() {
                "                    [--deadline-ms=0] [--window=256]\n"
                "                    [--max-queue=4096]\n"
                "                    [--degrade=fail|retry|degrade]\n"
+               "                    [--cache-entries=1024] [--no-shard-skip]\n"
                "                    [--port=7607] [--stats-period=0]\n");
   return 2;
 }
@@ -435,6 +446,10 @@ int Main(int argc, char** argv) {
       config.window = static_cast<std::size_t>(value);
     } else if (NumericFlag(arg, "--max-queue", &value) && value >= 0) {
       config.scheduler.max_queue_depth = static_cast<std::size_t>(value);
+    } else if (NumericFlag(arg, "--cache-entries", &value) && value >= 0) {
+      config.scheduler.cache_entries = static_cast<std::size_t>(value);
+    } else if (arg == "--no-shard-skip") {
+      config.shard_skip = false;
     } else if (std::string mode; tools::FlagValue(arg, "--degrade", &mode)) {
       if (mode == "fail") {
         config.failure_policy.mode = serving::ShardFailureMode::kFailFast;
@@ -463,6 +478,7 @@ int Main(int argc, char** argv) {
     if (!opened.ok()) return Fail(opened.status());
     sharded = std::make_unique<serving::ShardedEngine>(std::move(*opened));
     sharded->set_failure_policy(config.failure_policy);
+    sharded->set_skip_enabled(config.shard_skip);
     backend = [&s = *sharded](std::span<const Query> queries) {
       return s.SearchBatch(queries);
     };
@@ -475,6 +491,10 @@ int Main(int argc, char** argv) {
     backend = [&e = *engine](std::span<const Query> queries) {
       return e.SearchBatch(queries);
     };
+    // The epoch hook keeps the result cache honest should this process ever
+    // grow a mutation endpoint; for today's read-only server it polls a
+    // counter that never moves.
+    config.scheduler.backend_epoch = [&e = *engine] { return e.update_epoch(); };
     std::fprintf(stderr, "opened index: %d nodes\n", engine->num_nodes());
   }
 
