@@ -4,11 +4,16 @@
 // on the shared pool), plus the scheduler over a ShardedEngine and a
 // cache-on vs cache-off scheduler pair on the same repeat-heavy stream
 // (serving/result_cache.h answers cross-batch repeats without the
-// backend). Emits one JSON record per (clients, mode) cell — the cross-PR
-// perf artifact the serving CI job uploads.
+// backend), plus the distributed tier: a serving::Router fanning the same
+// queries over per-shard loopback-TCP workers (tools/net_util.h LineServer
+// — the kdash_worker stack in-process), healthy and with one worker dead
+// under a degrade policy. Emits one JSON record per (clients, mode) cell —
+// the cross-PR perf artifact the serving CI job uploads.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,7 +24,9 @@
 #include "graph/generators.h"
 #include "obs/metrics.h"
 #include "serving/batch_scheduler.h"
+#include "serving/router.h"
 #include "serving/sharded_engine.h"
+#include "tools/net_util.h"
 
 namespace kdash::bench {
 namespace {
@@ -119,6 +126,69 @@ Measurement RunScheduled(serving::BatchScheduler& scheduler, int clients,
       });
 }
 
+// One in-process distributed worker: the kdash_worker stack (LineServer +
+// BatchScheduler + shard engine) on an ephemeral loopback port.
+class BenchWorker {
+ public:
+  explicit BenchWorker(const Engine& shard)
+      : scheduler_(
+            [&shard](std::span<const Query> batch) {
+              return shard.SearchBatch(batch);
+            },
+            SchedulerOptions()),
+        server_(scheduler_, StreamConfigFor(shard)) {
+    KDASH_CHECK(server_.Listen(0).ok());
+    thread_ = std::thread([this] { server_.Serve(); });
+  }
+
+  ~BenchWorker() { Kill(); }
+
+  int port() const { return server_.port(); }
+
+  void Kill() {
+    if (!thread_.joinable()) return;
+    server_.Stop();
+    thread_.join();
+    scheduler_.Shutdown();
+  }
+
+ private:
+  static serving::BatchSchedulerOptions SchedulerOptions() {
+    serving::BatchSchedulerOptions options;
+    options.max_batch_size = 256;
+    options.max_wait = std::chrono::microseconds(200);
+    options.max_queue_depth = 0;
+    return options;
+  }
+
+  static tools::StreamConfig StreamConfigFor(const Engine& shard) {
+    tools::StreamConfig config;
+    config.pong_shards = 1;
+    config.pong_nodes = shard.num_nodes();
+    return config;
+  }
+
+  serving::BatchScheduler scheduler_;
+  tools::LineServer server_;
+  std::thread thread_;
+};
+
+// Synchronous per-client router calls: the fan-out inside each Search is
+// already parallel over the IO pool, so clients model front-end threads.
+Measurement RunRouter(const serving::Router& router, int clients,
+                      const std::vector<Query>& queries) {
+  return RunClients(clients, queries,
+                    [&](int, std::vector<Query>& slice,
+                        std::vector<double>* latencies) {
+                      for (const Query& query : slice) {
+                        WallTimer timer;
+                        const auto result = router.Search(query);
+                        KDASH_CHECK(result.ok()) << result.status();
+                        latencies->push_back(timer.Seconds() * 1e6);
+                      }
+                    });
+}
+
 int Main() {
   const auto n = static_cast<NodeId>(8000 * BenchScale());
   PrintBenchHeader(
@@ -196,7 +266,8 @@ int Main() {
 
   const std::vector<int> client_counts{1, 2, 4, 8};
   PrintTableHeader({"clients", "sync_qps", "sched_qps", "sched_x",
-                    "cached_qps", "cache_x", "sharded_qps", "p99_us"});
+                    "cached_qps", "cache_x", "sharded_qps", "dist_qps",
+                    "dist_dead_qps", "p99_us"});
 
   // Five timed repetitions per cell, sync and scheduler interleaved so CPU
   // frequency / container-load drift hits both modes alike; report the
@@ -263,10 +334,38 @@ int Main() {
       scheduler.Shutdown();
     }
 
+    // Distributed tier: the router over one loopback worker per shard, on
+    // the same query subset as the sharded column — first healthy, then
+    // with the last worker killed under a degrade policy (answers stay
+    // exact over the survivors; the cost is the failed slot's fast-fail
+    // path on every query).
+    Measurement dist, dist_dead;
+    {
+      std::vector<std::unique_ptr<BenchWorker>> workers;
+      std::string spec;
+      for (int s = 0; s < sharded->num_shards(); ++s) {
+        workers.push_back(std::make_unique<BenchWorker>(sharded->shard(s)));
+        if (s > 0) spec.append(",");
+        spec.append("127.0.0.1:" + std::to_string(workers.back()->port()));
+      }
+      serving::RouterOptions router_options;
+      router_options.failure_policy.mode = serving::ShardFailureMode::kDegrade;
+      router_options.failure_policy.max_retries = 1;
+      router_options.failure_policy.initial_backoff =
+          std::chrono::microseconds(100);
+      router_options.remote.reconnect_backoff = std::chrono::milliseconds(1);
+      auto router = serving::Router::Connect(spec, router_options);
+      KDASH_CHECK(router.ok()) << router.status();
+      RunRouter(**router, 1, sharded_queries);  // warmup (connections, pools)
+      dist = RunRouter(**router, clients, sharded_queries);
+      workers.back()->Kill();
+      dist_dead = RunRouter(**router, clients, sharded_queries);
+    }
+
     PrintTableRow("c=" + std::to_string(clients),
                   {static_cast<double>(clients), sync.qps, scheduled.qps,
                    speedup, cached.qps, cache_speedup, sharded_scheduled.qps,
-                   scheduled.p99_us});
+                   dist.qps, dist_dead.qps, scheduled.p99_us});
     records.push_back(JsonObject()
                           .Add("clients", clients)
                           .Add("sync_qps", sync.qps)
@@ -281,7 +380,10 @@ int Main() {
                           .Add("cached_scheduler_p99_us", cached.p99_us)
                           .Add("cache_speedup", cache_speedup)
                           .Add("cache_hit_frac", cache_hit_frac)
-                          .Add("sharded_scheduler_qps", sharded_scheduled.qps));
+                          .Add("sharded_scheduler_qps", sharded_scheduled.qps)
+                          .Add("distributed_qps", dist.qps)
+                          .Add("distributed_p99_us", dist.p99_us)
+                          .Add("distributed_dead_worker_qps", dist_dead.qps));
   }
   PrintJsonRecords("serving_throughput", records);
   return 0;

@@ -62,6 +62,9 @@ inline constexpr std::string_view kKnownFaultSites[] = {
     "index_io.open",              // opening an index file for reading
     "index_io.read",              // any checked read primitive (Pod/Vec)
     "index_io.write",             // index save stream write
+    "remote.connect",             // router→worker TCP connect attempt
+    "remote.recv",                // router reading a worker's response line
+    "remote.send",                // router writing a request line to a worker
     "scheduler.dispatch",         // BatchScheduler backend dispatch
     "server.send",                // kdash_server socket write
     "sharded.shard_search",       // any shard's search attempt

@@ -28,6 +28,22 @@ const char* StatusCodeName(StatusCode code) {
   return "UNKNOWN";
 }
 
+StatusCode StatusCodeFromName(std::string_view name) {
+  // Inverse of StatusCodeName, for protocol layers that receive a code as
+  // its canonical wire name. An unrecognized name maps to kInternal — the
+  // peer spoke a code this build does not know, which is its bug or a
+  // version skew, never the caller's.
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kDataLoss,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable,
+        StatusCode::kResourceExhausted}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string text = StatusCodeName(code_);

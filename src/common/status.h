@@ -13,6 +13,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "common/check.h"
@@ -34,6 +35,10 @@ enum class StatusCode {
 };
 
 const char* StatusCodeName(StatusCode code);
+
+// Inverse of StatusCodeName ("UNAVAILABLE" → kUnavailable, ...); an
+// unrecognized name maps to kInternal.
+StatusCode StatusCodeFromName(std::string_view name);
 
 class [[nodiscard]] Status {
  public:

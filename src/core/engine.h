@@ -26,6 +26,7 @@
 #ifndef KDASH_CORE_ENGINE_H_
 #define KDASH_CORE_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
@@ -85,6 +86,18 @@ struct Query {
   // then not guaranteed exact).
   bool use_pruning = true;
   NodeId root_override = kInvalidNode;
+
+  // Absolute serving deadline. time_point::max() (the default) means none.
+  // Like `trace`, the deadline never affects the answer and never
+  // participates in query identity (coalescing/caching ignore it); it is a
+  // *propagated budget*: BatchScheduler stamps each request's deadline here
+  // before dispatch, the sharded fan-out caps retry backoff at the time
+  // remaining and fails fast once expired, and the distributed router
+  // forwards the remaining budget over the wire (`deadline_us=`) so a
+  // remote worker's scheduler can expire the request instead of serving an
+  // answer nobody is waiting for.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 
   // Optional per-query trace sink (see obs/trace.h): when set, every layer
   // the query passes through — scheduler queue, engine search, per-shard

@@ -65,6 +65,14 @@ inline constexpr std::string_view kKnownMetrics[] = {
     "index_io.load_errors",     // failed index loads (corrupt/missing/...)
     "index_io.load_us",         // wall time of successful index loads
     "index_io.save_us",         // wall time of successful index saves
+    "router.degraded_queries",  // router answers missing >= 1 slot's shards
+    "router.failovers",         // slot served by a non-primary replica
+    "router.health_probes",     // background pings sent to workers
+    "router.hedge_wins",        // hedged copy answered before the original
+    "router.hedges",            // hedged (duplicate) requests issued
+    "router.marked_down",       // endpoint transitions healthy -> down
+    "router.marked_up",         // endpoint transitions down -> healthy
+    "router.remote_us",         // per-call wire round-trip latency
     "scheduler.batch_size",     // live (non-expired) requests per batch
     "scheduler.batch_wait_us",  // per-request queue wait until dispatch
     "scheduler.batches_dispatched",
@@ -81,6 +89,10 @@ inline constexpr std::string_view kKnownMetrics[] = {
     "server.requests",          // every answered request line (incl. pings)
     "serving.degraded_queries",
     "serving.merge_us",         // per-query cross-shard top-k merge time
+    "serving.remote.connect_errors",  // failed worker connect attempts
+    "serving.remote.connects",  // TCP connections established to workers
+    "serving.remote.io_errors",       // send/recv failures on worker conns
+    "serving.remote.requests",  // request lines written to workers
     "serving.shard_failures",
     "serving.shard_latency_us.s<N>",  // shard N search latency
     "serving.shard_retries",

@@ -70,6 +70,14 @@ std::future<Result<SearchResult>> BatchScheduler::Submit(
   request.arrival = Clock::now();
   request.deadline = timeout.count() > 0 ? request.arrival + timeout
                                          : Clock::time_point::max();
+  // The effective deadline is the tighter of the scheduler's timeout and
+  // any budget the query arrived with (e.g. a deadline_us= wire field).
+  // Stamping it back onto the query propagates the budget into the
+  // backend: the sharded fan-out caps its retry backoff by it, and the
+  // router forwards the remaining budget to workers. Query identity is
+  // unaffected — CompareQueries ignores deadlines, like traces.
+  request.deadline = std::min(request.deadline, request.query.deadline);
+  request.query.deadline = request.deadline;
   std::future<Result<SearchResult>> future = request.promise.get_future();
   if (request.query.trace != nullptr) {
     request.trace_submit_us = request.query.trace->ElapsedUs();

@@ -388,9 +388,26 @@ Status ShardedEngine::SearchShard(const Query& query, std::size_t s,
         attempt >= policy.max_retries) {
       return status;
     }
+    // Retry backoff is deadline-aware: an uncapped sleep could overshoot
+    // the query's remaining budget (up to max_backoff past it), burning
+    // wall-clock on a retry whose answer the caller will discard as
+    // DEADLINE_EXCEEDED anyway. Fail fast once the budget is gone, and
+    // never sleep past it.
+    auto sleep = backoff;
+    if (query.deadline != std::chrono::steady_clock::time_point::max()) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::microseconds>(query.deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded(
+            "deadline expired before shard " + std::to_string(s) +
+            " retry: " + status.message());
+      }
+      sleep = std::min(sleep, remaining);
+    }
     control_->shard_retries.fetch_add(1, std::memory_order_relaxed);
     control_->m_shard_retries->Add();
-    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
     backoff = std::min(backoff * 2, policy.max_backoff);
   }
 }

@@ -1,0 +1,67 @@
+// kdash::serving::wire — the router's side of the JSON-lines protocol.
+//
+// The distributed tier reuses the one protocol this repo already speaks
+// (tools/json_lines.h: one request line, one JSON record back) instead of
+// inventing a second RPC surface — a worker is just a kdash_server a
+// router happens to dial. The library cannot include tools/ headers, so
+// this module holds the *client* half: format a Query as a request line,
+// parse a response record back into Status/SearchResult. Both halves are
+// exercised against each other in tests, and the grammar is documented
+// once, in tools/json_lines.h.
+//
+// Exactness over the wire: a result record's "score":%.12g is for humans
+// and loses low-order bits, so every router request carries `hex=1` and
+// the parser prefers the "score_hex" hexfloat field (strtod round-trips
+// it exactly). That is what lets the router's cross-worker merge be
+// bit-identical to the in-process ShardedEngine merge.
+#ifndef KDASH_SERVING_WIRE_H_
+#define KDASH_SERVING_WIRE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace kdash::serving::wire {
+
+// One Query → one request line (no trailing newline):
+//   <sources...> [-- <excludes...>] k=<k> [pruning=0] [root=<n>]
+//   [deadline_us=<remaining>] hex=1
+// The deadline travels as *remaining* microseconds (clocks don't cross
+// hosts); a query whose deadline already passed sends deadline_us=0 so the
+// worker expires it instead of computing. `query.trace` is not forwarded —
+// the router stamps its own spans around the call.
+std::string FormatRequestLine(const Query& query);
+
+// The request line a health probe sends.
+inline const char* PingLine() { return "{\"ping\":1}"; }
+
+struct ParsedRecord {
+  enum class Kind { kResult, kError, kPong };
+  Kind kind = Kind::kResult;
+
+  long long id = -1;
+
+  // kError: the canonical code (parsed from "code") plus the escaped
+  // message, reconstituted.
+  Status error;
+
+  // kResult: top entries (score_hex preferred), summed worker-side stats,
+  // and the degradation tags when present (absent = complete).
+  SearchResult result;
+
+  // kPong: the worker's advertised footprint (see FormatPongRecord);
+  // -1 when the pong carried none (a plain kdash_server).
+  int pong_shards = -1;
+  long long pong_nodes = -1;
+};
+
+// Parse one response line. Returns kInvalidArgument (tagged with a prefix
+// of the offending line) when the record is not one of the three kinds the
+// protocol emits — which, between two processes of this repo, means the
+// peer is not a kdash worker at all.
+[[nodiscard]] Result<ParsedRecord> ParseRecordLine(const std::string& line);
+
+}  // namespace kdash::serving::wire
+
+#endif  // KDASH_SERVING_WIRE_H_

@@ -5,10 +5,22 @@
 //
 // Request line grammar (whitespace-separated):
 //   <source> [<source> ...] [-- <exclude> ...] [k=<n>] [trace=1]
+//   [pruning=0] [root=<node>] [deadline_us=<n>] [hex=1]
 // plus the literal health request `{"ping":1}` (answered in order with a
 // pong record, without touching the scheduler or the index) and the stats
 // request `{"stats":1}` (answered in order with a metric-registry
 // snapshot, see obs/metrics.h).
+//
+// The last four tokens exist for the distributed tier (serving::Router →
+// kdash_worker), though any client may use them: `pruning=0` and
+// `root=<node>` carry the Query diagnostics fields that would otherwise be
+// unreachable over the wire, `deadline_us=<n>` hands the server the
+// request's *remaining* budget (it stamps Query::deadline n µs from
+// receipt, so an expired budget comes back DEADLINE_EXCEEDED instead of as
+// an answer nobody is waiting for), and `hex=1` asks for a "score_hex"
+// hexfloat alongside each entry's decimal score — %.12g loses low bits,
+// and the router's cross-worker merge is only bit-identical to the
+// in-process ShardedEngine if scores survive the round-trip exactly.
 // Response records:
 //   {"id":7,"sources":[3],"k":5,"top":[{"node":9,"score":0.0123},...],
 //    "visited":42,"computed":17,"pruned":true,"t_us":184}
@@ -26,6 +38,7 @@
 #ifndef KDASH_TOOLS_JSON_LINES_H_
 #define KDASH_TOOLS_JSON_LINES_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -65,10 +78,14 @@ inline std::string JsonEscape(const std::string& text) {
 
 // One request line → a Query. Returns false with a message on a malformed
 // line (the caller reports it as an error record and keeps going).
+// `hex_scores`, when non-null, reports whether the line carried `hex=1`
+// (the caller then formats the result record with hexfloat scores).
 inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
-                           Query* query, std::string* error) {
+                           Query* query, std::string* error,
+                           bool* hex_scores = nullptr) {
   *query = Query{};
   query->k = default_k;
+  if (hex_scores != nullptr) *hex_scores = false;
   std::istringstream tokens(line);
   std::string token;
   bool excludes = false;
@@ -89,6 +106,41 @@ inline bool ParseQueryLine(const std::string& line, std::size_t default_k,
     }
     if (token == "trace=1") {
       query->trace = std::make_shared<obs::TraceContext>();
+      continue;
+    }
+    if (token == "hex=1") {
+      if (hex_scores != nullptr) *hex_scores = true;
+      continue;
+    }
+    if (token == "pruning=0") {
+      query->use_pruning = false;
+      continue;
+    }
+    if (token.rfind("root=", 0) == 0) {
+      const std::string value = token.substr(5);
+      char* root_end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &root_end, 10);
+      if (root_end == value.c_str() || *root_end != '\0' || parsed < 0 ||
+          parsed > std::numeric_limits<NodeId>::max()) {
+        *error = "bad root '" + value + "'";
+        return false;
+      }
+      query->root_override = static_cast<NodeId>(parsed);
+      continue;
+    }
+    if (token.rfind("deadline_us=", 0) == 0) {
+      // The wire carries the *remaining* budget, not an absolute time —
+      // two hosts share no clock. Receipt is the budget's new epoch; a
+      // non-positive budget arrives already expired.
+      const std::string value = token.substr(12);
+      char* deadline_end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &deadline_end, 10);
+      if (deadline_end == value.c_str() || *deadline_end != '\0') {
+        *error = "bad deadline_us '" + value + "'";
+        return false;
+      }
+      query->deadline =
+          std::chrono::steady_clock::now() + std::chrono::microseconds(parsed);
       continue;
     }
     char* end = nullptr;
@@ -132,8 +184,17 @@ inline std::string FormatErrorRecord(long long id, const std::string& message,
   return FormatErrorRecord(id, Status::InvalidArgument(message), t_us);
 }
 
-inline std::string FormatPongRecord(long long id, long long t_us = -1) {
+// Pong record, optionally carrying the responder's serving footprint:
+// `shards` (how many index shards this process serves — the router weighs
+// a worker's success/failure in shard units so its shards_ok/shards_failed
+// accounting matches an in-process ShardedEngine) and `nodes` (the graph
+// size, a cheap cross-worker sanity handshake). Negative values omit the
+// field, so plain servers keep byte-stable pongs.
+inline std::string FormatPongRecord(long long id, long long t_us = -1,
+                                    int shards = -1, long long nodes = -1) {
   std::string record = "{\"id\":" + std::to_string(id) + ",\"pong\":1";
+  if (shards >= 0) record += ",\"shards\":" + std::to_string(shards);
+  if (nodes >= 0) record += ",\"nodes\":" + std::to_string(nodes);
   AppendLatencyField(&record, t_us);
   record += "}";
   return record;
@@ -173,21 +234,31 @@ inline bool IsStatsLine(const std::string& line) {
   return internal::IsLiteralLine(line, "{\"stats\":1}");
 }
 
+// `hex_scores` (the `hex=1` request token) adds a "score_hex" hexfloat
+// (%a) next to each entry's human-readable decimal score; strtod parses it
+// back to the bit-identical double, which the distributed merge requires.
 inline std::string FormatResultRecord(long long id, const Query& query,
                                       const SearchResult& result,
-                                      long long t_us = -1) {
+                                      long long t_us = -1,
+                                      bool hex_scores = false) {
   std::string record = "{\"id\":" + std::to_string(id) + ",\"sources\":[";
   for (std::size_t i = 0; i < query.sources.size(); ++i) {
     if (i > 0) record += ',';
     record += std::to_string(query.sources[i]);
   }
   record += "],\"k\":" + std::to_string(query.k) + ",\"top\":[";
-  char buffer[64];
+  char buffer[128];
   for (std::size_t i = 0; i < result.top.size(); ++i) {
     if (i > 0) record += ',';
-    std::snprintf(buffer, sizeof(buffer), "{\"node\":%d,\"score\":%.12g}",
+    std::snprintf(buffer, sizeof(buffer), "{\"node\":%d,\"score\":%.12g",
                   result.top[i].node, result.top[i].score);
     record += buffer;
+    if (hex_scores) {
+      std::snprintf(buffer, sizeof(buffer), ",\"score_hex\":\"%a\"",
+                    result.top[i].score);
+      record += buffer;
+    }
+    record += '}';
   }
   record += "],\"visited\":" + std::to_string(result.stats.nodes_visited) +
             ",\"computed\":" +

@@ -10,10 +10,24 @@
 //                [--max-queue=4096] [--degrade=fail|retry|degrade]
 //                [--cache-entries=1024] [--no-shard-skip]
 //                [--port=7607] [--stats-period=0]
+//   kdash_server --workers=host:port[+replica...][,slot2...] [common flags]
+//                [--no-hedge] [--hedge-delay-us=0] [--probe-period-ms=250]
 //
 // The index argument is a single-index file, or a directory written by
 // serving::ShardedEngine::Save (detected automatically; queries then fan
 // out across the shards and merge exactly).
+//
+// Router mode (--workers= in place of an index path) serves no index
+// itself: every query fans out over TCP to the listed kdash_worker
+// processes — comma-separated slots, '+'-separated failover replicas
+// within a slot — and the per-worker exact top-k answers merge into the
+// exact global top-k, bit-identical to the in-process sharded engine over
+// the same shards. --degrade selects the same failure policy across the
+// process boundary (a dead worker under --degrade=degrade yields partial
+// answers tagged "shards_failed"); hedging re-issues slow requests to a
+// replica (--no-hedge disables, --hedge-delay-us pins the delay, 0 derives
+// it from the live p99); --probe-period-ms paces the background health
+// prober that marks crashed workers down and restarted ones back up.
 //
 // Without --port the server pumps stdin→stdout: requests are submitted
 // asynchronously with up to --window in flight, responses print in input
@@ -23,10 +37,13 @@
 // where micro-batching pays off.
 //
 //   --deadline-ms=N  per-request deadline; expired requests come back as
-//                    {"code":"DEADLINE_EXCEEDED",...} records (0 = none)
+//                    {"code":"DEADLINE_EXCEEDED",...} records (0 = none).
+//                    The remaining budget also propagates to workers in
+//                    router mode, so a worker never computes an answer the
+//                    front end has already given up on
 //   --max-queue=N    admission control: shed requests past N pending with
 //                    {"code":"RESOURCE_EXHAUSTED",...} (0 = unbounded)
-//   --degrade=MODE   sharded-index failure policy: fail (default), retry,
+//   --degrade=MODE   shard/worker failure policy: fail (default), retry,
 //                    or degrade (serve partial top-k from live shards,
 //                    tagged with "shards_failed")
 //
@@ -43,54 +60,44 @@
 // the literal request line {"ping":1} answers {"id":N,"pong":1} in order —
 // a health probe that works even while queries are being shed. The literal
 // line {"stats":1} answers {"id":N,"stats":{...}} with the live metric
-// registry snapshot (scheduler, per-shard, IO, and fault-site metrics in
-// one deterministic JSON object) — like pings it is answered in order and
-// never queued or shed. Every record carries "t_us", the server-side
-// end-to-end latency of its request.
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <cerrno>
+// registry snapshot (scheduler, per-shard, router, IO, and fault-site
+// metrics in one deterministic JSON object) — like pings it is answered in
+// order and never queued or shed. Every record carries "t_us", the
+// server-side end-to-end latency of its request.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <algorithm>
-#include <deque>
 #include <filesystem>
-#include <future>
 #include <iostream>
-#include <list>
 #include <memory>
-#include <optional>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "common/fault.h"
 #include "common/mutex.h"
-#include "common/timer.h"
+#include "common/status.h"
 #include "core/engine.h"
 #include "json_lines.h"
+#include "net_util.h"
 #include "obs/metrics.h"
 #include "serving/batch_scheduler.h"
+#include "serving/router.h"
 #include "serving/sharded_engine.h"
 
 namespace kdash {
 namespace {
 
 struct ServerConfig {
-  std::size_t default_k = 5;
-  std::chrono::milliseconds deadline{0};  // 0 = none
-  std::size_t window = 256;               // max in-flight requests per stream
-  int port = -1;                          // -1 = stdin/stdout mode
-  std::chrono::seconds stats_period{0};   // 0 = no periodic stats dump
-  bool shard_skip = true;                 // sharded indexes only
+  tools::StreamConfig stream;
+  int port = -1;                         // -1 = stdin/stdout mode
+  std::chrono::seconds stats_period{0};  // 0 = no periodic stats dump
+  bool shard_skip = true;                // sharded indexes only
   serving::BatchSchedulerOptions scheduler;
-  serving::ShardFailurePolicy failure_policy;  // sharded indexes only
+  serving::ShardFailurePolicy failure_policy;  // sharded/router backends
+
+  // Router mode (--workers= instead of an index path).
+  std::string workers;
+  serving::RouterOptions router;
 
   ServerConfig() { scheduler.cache_entries = 1024; }
 };
@@ -103,7 +110,10 @@ int Usage() {
                "                    [--max-queue=4096]\n"
                "                    [--degrade=fail|retry|degrade]\n"
                "                    [--cache-entries=1024] [--no-shard-skip]\n"
-               "                    [--port=7607] [--stats-period=0]\n");
+               "                    [--port=7607] [--stats-period=0]\n"
+               "       kdash_server --workers=h:p[+h:p...][,h:p...]\n"
+               "                    [--no-hedge] [--hedge-delay-us=0]\n"
+               "                    [--probe-period-ms=250] [common flags]\n");
   return 2;
 }
 
@@ -122,334 +132,73 @@ bool NumericFlag(const std::string& arg, const char* name, long long* value) {
   return true;
 }
 
-// A line sink the pump can write records to (stdout or a socket).
-using WriteLine = std::function<bool(const std::string&)>;
-
-// One in-flight request of a stream: a health ping, a stats request, an
-// immediately-failed parse (error set), or a query waiting on its
-// scheduler future. The timer starts when the line is read and stops when
-// the record is formatted — "t_us" is server-side end-to-end latency.
-struct Pending {
-  long long id = 0;
-  bool is_ping = false;
-  bool is_stats = false;
-  Query query;
-  std::string parse_error;
-  std::optional<std::future<Result<SearchResult>>> future;
-  WallTimer timer;
-};
-
-// Registry handles for the server's own request metrics, resolved once
-// (the writer thread touches them per record; lookups lock).
-struct ServerMetrics {
-  obs::Counter* requests;
-  obs::Histogram* request_us;
-};
-
-ServerMetrics GetServerMetrics() {
-  static const ServerMetrics metrics = {
-      &obs::MetricRegistry::Global().GetCounter("server.requests"),
-      &obs::MetricRegistry::Global().GetHistogram("server.request_us")};
-  return metrics;
-}
-
-bool Resolve(Pending& pending, const WriteLine& write) {
-  const ServerMetrics metrics = GetServerMetrics();
-  metrics.requests->Add();
-  if (pending.is_ping) {
-    return write(tools::FormatPongRecord(
-        pending.id, static_cast<long long>(pending.timer.Micros())));
-  }
-  if (pending.is_stats) {
-    // Snapshot taken here, at answer time, so the record reflects every
-    // request resolved before it in stream order.
-    return write(tools::FormatStatsRecord(
-        pending.id, obs::MetricRegistry::Global().SnapshotToJson(),
-        static_cast<long long>(pending.timer.Micros())));
-  }
-  if (!pending.future.has_value()) {
-    const long long t_us = static_cast<long long>(pending.timer.Micros());
-    metrics.request_us->Record(static_cast<std::uint64_t>(t_us));
-    return write(
-        tools::FormatErrorRecord(pending.id, pending.parse_error, t_us));
-  }
-  Result<SearchResult> result = pending.future->get();
-  const long long t_us = static_cast<long long>(pending.timer.Micros());
-  metrics.request_us->Record(static_cast<std::uint64_t>(t_us));
-  if (!result.ok()) {
-    return write(tools::FormatErrorRecord(pending.id, result.status(), t_us));
-  }
-  return write(
-      tools::FormatResultRecord(pending.id, pending.query, *result, t_us));
-}
-
-// Pumps one request stream through the scheduler: a reader submits each
-// line as it arrives (at most `window` in flight, so batches can form
-// without unbounded memory) while a writer thread resolves responses in
-// input order as soon as they complete — a request-response client gets
-// its answer after max_wait, never "once the window fills or EOF".
-void PumpStream(std::istream& in, const WriteLine& write,
-                serving::BatchScheduler& scheduler, const ServerConfig& config) {
-  const auto timeout =
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          config.deadline);
-
-  // Shared reader/writer state lives in a struct so every guarded member
-  // is annotated — locals cannot carry KDASH_GUARDED_BY.
-  struct StreamState {
-    Mutex mutex;
-    CondVar changed;
-    std::deque<Pending> in_flight KDASH_GUARDED_BY(mutex);
-    bool input_done KDASH_GUARDED_BY(mutex) = false;
-    bool sink_ok KDASH_GUARDED_BY(mutex) = true;
-  };
-  StreamState state;
-
-  std::thread writer([&] {
-    MutexLock lock(state.mutex);
-    for (;;) {
-      while (state.in_flight.empty() && !state.input_done) {
-        state.changed.Wait(state.mutex);
-      }
-      if (state.in_flight.empty()) return;  // input done, everything resolved
-      Pending pending = std::move(state.in_flight.front());
-      state.in_flight.pop_front();
-      lock.Unlock();
-      const bool ok = Resolve(pending, write);  // blocks on the future
-      lock.Lock();
-      state.sink_ok = state.sink_ok && ok;
-      state.changed.NotifyAll();  // reader may wait on window space
-    }
-  });
-
-  long long id = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
-    if (line.empty() || line[0] == '#') continue;
-    Pending pending;
-    pending.id = id++;
-    if (tools::IsPingLine(line)) {
-      pending.is_ping = true;  // answered in order, never queued or shed
-    } else if (tools::IsStatsLine(line)) {
-      pending.is_stats = true;  // like pings: in order, never queued or shed
-    } else if (tools::ParseQueryLine(line, config.default_k, &pending.query,
-                                     &pending.parse_error)) {
-      pending.future = scheduler.Submit(pending.query, timeout);
-    }
-    {
-      MutexLock lock(state.mutex);
-      while (state.in_flight.size() >= config.window && state.sink_ok) {
-        state.changed.Wait(state.mutex);
-      }
-      if (!state.sink_ok) break;  // client went away; stop reading
-      state.in_flight.push_back(std::move(pending));
-    }
-    state.changed.NotifyAll();
-  }
-  {
-    MutexLock lock(state.mutex);
-    state.input_done = true;
-  }
-  state.changed.NotifyAll();
-  writer.join();
-}
-
 // ---- TCP mode --------------------------------------------------------------
 
-std::atomic<int> g_listen_fd{-1};
+// The signal handler needs a stable target; LineServer::Stop is
+// async-signal-safe (atomic exchange + shutdown + close).
+std::atomic<tools::LineServer*> g_server{nullptr};
 
 void StopListening(int) {
-  const int fd = g_listen_fd.exchange(-1);
-  if (fd >= 0) ::close(fd);  // unblocks accept(); the server then drains
-}
-
-// Minimal istream over a socket so PumpStream works unchanged.
-class SocketStreamBuf : public std::streambuf {
- public:
-  explicit SocketStreamBuf(int fd) : fd_(fd) {}
-
- protected:
-  int underflow() override {
-    const ssize_t got = ::recv(fd_, buffer_, sizeof(buffer_), 0);
-    if (got <= 0) return traits_type::eof();
-    setg(buffer_, buffer_, buffer_ + got);
-    return traits_type::to_int_type(buffer_[0]);
-  }
-
- private:
-  int fd_;
-  char buffer_[4096];
-};
-
-bool SendAll(int fd, const std::string& record) {
-  // Chaos hook: a firing "server.send" behaves exactly like a dead client
-  // socket — the stream winds down and the worker exits cleanly.
-  if (fault::AnyArmed() && !fault::Check("server.send").ok()) return false;
-  std::string payload = record + "\n";
-  std::size_t sent = 0;
-  while (sent < payload.size()) {
-    const ssize_t wrote =
-        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
-    // EINTR means a signal interrupted the call before any byte moved —
-    // the connection is fine; killing it here dropped healthy clients.
-    if (wrote < 0 && errno == EINTR) continue;
-    if (wrote <= 0) return false;
-    sent += static_cast<std::size_t>(wrote);
-  }
-  return true;
+  tools::LineServer* server = g_server.load();
+  if (server != nullptr) server->Stop();
 }
 
 int ServeTcp(serving::BatchScheduler& scheduler, const ServerConfig& config) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) return Fail(Status::Internal("socket() failed"));
-  const int reuse = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(config.port));
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd, 64) < 0) {
-    ::close(listen_fd);
-    return Fail(Status::Unavailable("cannot listen on 127.0.0.1:" +
-                                    std::to_string(config.port)));
-  }
-  g_listen_fd.store(listen_fd);
+  tools::LineServer server(scheduler, config.stream);
+  const Status listening = server.Listen(config.port);
+  if (!listening.ok()) return Fail(listening);
+  g_server.store(&server);
   std::signal(SIGINT, StopListening);
   std::signal(SIGTERM, StopListening);
-  std::fprintf(stderr, "kdash_server listening on 127.0.0.1:%d\n", config.port);
-
-  // Connection threads are joinable while running and tracked in a shared
-  // registry. A worker that finishes in steady state detaches and erases
-  // itself under the registry lock (so a burst of short connections leaves
-  // no exited-but-unjoined stacks behind); once the drain flips `draining`,
-  // workers instead mark themselves done and wait to be joined — shutdown
-  // must be able to wait for every worker while the scheduler and config on
-  // this stack frame are still alive (a detached worker touching them — or
-  // signalling a stack-local condition variable — after ServeTcp returns is
-  // a use-after-free). The open-fd registry lets the drain half-close idle
-  // connections whose readers are parked in recv() — previously those hung
-  // the drain forever.
-  struct Connection {
-    // Unguarded on purpose: the thread handle is touched only by its own
-    // worker (self-detach in steady state) or by the drain after `done`
-    // (release/acquire) hands ownership over — never concurrently.
-    std::thread thread;
-    std::atomic<bool> done{false};
-  };
-  struct ConnectionRegistry {
-    Mutex mutex;
-    std::vector<int> open_fds KDASH_GUARDED_BY(mutex);
-    std::list<Connection> connections KDASH_GUARDED_BY(mutex);
-    bool draining KDASH_GUARDED_BY(mutex) = false;
-  };
-  ConnectionRegistry registry;
-
-  for (;;) {
-    const int conn_fd = ::accept(listen_fd, nullptr, nullptr);
-    if (conn_fd < 0) break;  // listener closed by signal
-    // Bound every send: a client that stops reading its responses would
-    // otherwise park the worker in a blocking send() forever — surviving
-    // the SHUT_RD drain below (which only wakes readers) and pinning its
-    // pipeline window in steady state. After the timeout SendAll fails,
-    // the stream winds down, and the worker exits.
-    const timeval send_timeout{/*tv_sec=*/10, /*tv_usec=*/0};
-    ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
-    MutexLock lock(registry.mutex);
-    registry.open_fds.push_back(conn_fd);
-    registry.connections.emplace_back();
-    // list iterator: stable
-    const auto self = std::prev(registry.connections.end());
-    self->thread = std::thread([conn_fd, self, &scheduler, &config,
-                                &registry] {
-      SocketStreamBuf buf(conn_fd);
-      std::istream in(&buf);
-      PumpStream(in, [conn_fd](const std::string& record) {
-        return SendAll(conn_fd, record);
-      }, scheduler, config);
-      // Deregister and close under the registry lock so the drain sweep
-      // can never shutdown() a recycled descriptor.
-      MutexLock lock(registry.mutex);
-      registry.open_fds.erase(std::remove(registry.open_fds.begin(),
-                                          registry.open_fds.end(), conn_fd),
-                              registry.open_fds.end());
-      ::close(conn_fd);
-      if (registry.draining) {
-        // The drain owns this node now and will join the thread.
-        self->done.store(true, std::memory_order_release);
-      } else {
-        // Steady state: reclaim this stack immediately. The detach is safe
-        // precisely because this lambda's last act is the erase below —
-        // nothing on ServeTcp's frame is touched after the lock drops.
-        // kdash-lint: allow(detach) steady-state workers self-reap; the
-        // drain path joins every worker alive once `draining` flips.
-        self->thread.detach();
-        registry.connections.erase(self);
-      }
-    });
-  }
-
-  // Drain in two phases. Phase 1: half-close every live connection
-  // (SHUT_RD only — responses still in flight may finish writing), which
-  // wakes readers blocked in recv() with EOF; PumpStream then resolves its
-  // in-flight requests and returns. Phase 2: any worker still alive after
-  // the grace period is stuck writing to a client that is not reading
-  // (SO_SNDTIMEO only bounds a single zero-progress send, so a client
-  // draining a byte every few seconds would stall forever) — full-close its
-  // socket, which fails the pending send and unwinds the stream. Only then
-  // are the joins below guaranteed to terminate.
-  std::vector<Connection*> to_join;
-  {
-    MutexLock lock(registry.mutex);
-    // From here on workers stop self-erasing, so every remaining node is
-    // ours to join. Snapshot the stable list nodes (std::list pointers
-    // never move) so the polling below runs without the registry lock.
-    registry.draining = true;
-    for (const int fd : registry.open_fds) ::shutdown(fd, SHUT_RD);
-    to_join.reserve(registry.connections.size());
-    for (Connection& conn : registry.connections) to_join.push_back(&conn);
-  }
-  const auto drain_deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  for (Connection* conn : to_join) {
-    while (!conn->done.load(std::memory_order_acquire) &&
-           std::chrono::steady_clock::now() < drain_deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    }
-  }
-  {
-    MutexLock lock(registry.mutex);
-    for (const int fd : registry.open_fds) ::shutdown(fd, SHUT_RDWR);
-  }
-  for (Connection* conn : to_join) conn->thread.join();
+  std::fprintf(stderr, "kdash_server listening on 127.0.0.1:%d\n",
+               server.port());
+  server.Serve();
+  g_server.store(nullptr);
   return 0;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  const std::string index_path = argv[1];
+  // A dead client (or dead worker, in router mode) must never kill the
+  // server: writes to a closed peer report EPIPE instead of raising
+  // SIGPIPE.
+  tools::IgnoreSigpipe();
+
   ServerConfig config;
-  for (int i = 2; i < argc; ++i) {
+  std::string index_path;
+  int first_flag = 2;
+  if (tools::FlagValue(argv[1], "--workers", &config.workers)) {
+    first_flag = 2;  // router mode has no index argument
+  } else if (argv[1][0] == '-') {
+    return Usage();
+  } else {
+    index_path = argv[1];
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string arg = argv[i];
     long long value = 0;
     if (NumericFlag(arg, "--k", &value) && value > 0) {
-      config.default_k = static_cast<std::size_t>(value);
+      config.stream.default_k = static_cast<std::size_t>(value);
     } else if (NumericFlag(arg, "--batch", &value) && value > 0) {
       config.scheduler.max_batch_size = static_cast<std::size_t>(value);
     } else if (NumericFlag(arg, "--wait-us", &value) && value >= 0) {
       config.scheduler.max_wait = std::chrono::microseconds(value);
     } else if (NumericFlag(arg, "--deadline-ms", &value) && value >= 0) {
-      config.deadline = std::chrono::milliseconds(value);
+      config.stream.deadline = std::chrono::milliseconds(value);
     } else if (NumericFlag(arg, "--window", &value) && value > 0) {
-      config.window = static_cast<std::size_t>(value);
+      config.stream.window = static_cast<std::size_t>(value);
     } else if (NumericFlag(arg, "--max-queue", &value) && value >= 0) {
       config.scheduler.max_queue_depth = static_cast<std::size_t>(value);
     } else if (NumericFlag(arg, "--cache-entries", &value) && value >= 0) {
       config.scheduler.cache_entries = static_cast<std::size_t>(value);
     } else if (arg == "--no-shard-skip") {
       config.shard_skip = false;
+    } else if (arg == "--no-hedge") {
+      config.router.hedging = false;
+    } else if (NumericFlag(arg, "--hedge-delay-us", &value) && value >= 0) {
+      config.router.hedge_delay = std::chrono::microseconds(value);
+    } else if (NumericFlag(arg, "--probe-period-ms", &value) && value >= 0) {
+      config.router.probe_period = std::chrono::milliseconds(value);
     } else if (std::string mode; tools::FlagValue(arg, "--degrade", &mode)) {
       if (mode == "fail") {
         config.failure_policy.mode = serving::ShardFailureMode::kFailFast;
@@ -460,7 +209,8 @@ int Main(int argc, char** argv) {
       } else {
         return Usage();
       }
-    } else if (NumericFlag(arg, "--port", &value) && value > 0 && value < 65536) {
+    } else if (NumericFlag(arg, "--port", &value) && value > 0 &&
+               value < 65536) {
       config.port = static_cast<int>(value);
     } else if (NumericFlag(arg, "--stats-period", &value) && value >= 0) {
       config.stats_period = std::chrono::seconds(value);
@@ -469,11 +219,23 @@ int Main(int argc, char** argv) {
     }
   }
 
-  // A sharded directory or a single index file, behind one Backend.
+  // The backend: a router over worker processes, a sharded directory, or a
+  // single index file — all behind one Backend signature.
   std::unique_ptr<Engine> engine;
   std::unique_ptr<serving::ShardedEngine> sharded;
+  std::unique_ptr<serving::Router> router;
   serving::BatchScheduler::Backend backend;
-  if (std::filesystem::is_directory(index_path)) {
+  if (!config.workers.empty()) {
+    config.router.failure_policy = config.failure_policy;
+    auto connected = serving::Router::Connect(config.workers, config.router);
+    if (!connected.ok()) return Fail(connected.status());
+    router = std::move(*connected);
+    backend = [&r = *router](std::span<const Query> queries) {
+      return r.SearchBatch(queries);
+    };
+    std::fprintf(stderr, "routing to %d worker slot(s), %d shard(s) total\n",
+                 router->num_slots(), router->shards_total());
+  } else if (std::filesystem::is_directory(index_path)) {
     auto opened = serving::ShardedEngine::Open(index_path);
     if (!opened.ok()) return Fail(opened.status());
     sharded = std::make_unique<serving::ShardedEngine>(std::move(*opened));
@@ -534,11 +296,11 @@ int Main(int argc, char** argv) {
   } else {
     // Flush per record: an interactive client must see each response as it
     // resolves, not when the stdio buffer happens to fill.
-    PumpStream(std::cin, [](const std::string& record) {
+    tools::PumpStream(std::cin, [](const std::string& record) {
       return std::fwrite(record.data(), 1, record.size(), stdout) ==
                  record.size() &&
              std::fputc('\n', stdout) != EOF && std::fflush(stdout) == 0;
-    }, scheduler, config);
+    }, scheduler, config.stream);
   }
 
   scheduler.Shutdown();
